@@ -1,0 +1,78 @@
+// Ablation study of the AVR design choices DESIGN.md calls out:
+//   * lazy eviction on/off            (Sec. 3.1 / 3.5)
+//   * PFE on/off                      (Sec. 3.3)
+//   * failure history on/off          (Sec. 3.2 / 3.5)
+//   * 1D-only vs 2D-only vs both downsampling variants (Sec. 3.3)
+// Run on the three workloads with distinct compression regimes
+// (heat: high, lattice: medium iterative, kmeans: low/outlier-heavy).
+//
+// Results are *not* cached: each variant alters the configuration.
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "workloads/workload_registry.hh"
+
+namespace {
+
+using namespace avr;
+
+struct Variant {
+  std::string name;
+  std::function<void(SimConfig&)> tweak;
+};
+
+struct Point {
+  uint64_t cycles = 0;
+  uint64_t bytes = 0;
+  double error = 0;
+};
+
+Point run_point(const std::string& wl_name, const Variant& v) {
+  auto wl = make_workload(wl_name);
+  SimConfig cfg = ExperimentRunner({}, false, "").config_for(*wl);
+  v.tweak(cfg);
+
+  auto gold_wl = make_workload(wl_name);
+  System gsys(Design::kBaseline, cfg, 1, /*timing=*/false);
+  gold_wl->run(gsys);
+  const auto golden = gold_wl->output(gsys);
+
+  System sys(Design::kAvr, cfg);
+  wl->run(sys);
+  const auto out = wl->output(sys);
+  sys.finish();
+  const RunMetrics m = sys.metrics();
+  return {m.cycles, m.dram_bytes, mean_relative_error(out, golden)};
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Variant> variants = {
+      {"full AVR", [](SimConfig&) {}},
+      {"no lazy eviction", [](SimConfig& c) { c.avr.enable_lazy_eviction = false; }},
+      {"no PFE", [](SimConfig& c) { c.avr.enable_pfe = false; }},
+      {"no failure history",
+       [](SimConfig& c) { c.avr.enable_failure_history = false; }},
+      {"1D only", [](SimConfig& c) { c.avr.enable_2d = false; }},
+      {"2D only", [](SimConfig& c) { c.avr.enable_1d = false; }},
+  };
+  const std::vector<std::string> wls = {"heat", "lattice", "kmeans"};
+
+  std::printf("AVR ablation (each cell normalized to the full design)\n");
+  for (const auto& w : wls) {
+    std::printf("\n%s\n", w.c_str());
+    std::printf("  %-20s %10s %10s %10s\n", "variant", "cycles", "traffic",
+                "error(%)");
+    const Point full = run_point(w, variants[0]);
+    for (const auto& v : variants) {
+      const Point p = run_point(w, v);
+      std::printf("  %-20s %10.3f %10.3f %9.2f%%\n", v.name.c_str(),
+                  static_cast<double>(p.cycles) / full.cycles,
+                  static_cast<double>(p.bytes) / full.bytes, 100 * p.error);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 10: system energy, normalized to baseline, with the paper's
+// five-way component breakdown.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  const auto wls = workload_names();
+  print_normalized_table(r, "Fig. 10: Total energy", wls,
+                         ExperimentRunner::paper_designs(),
+                         [](const RunMetrics& m) { return m.energy.total(); });
+
+  std::printf("\n-- component breakdown (fraction of each design's total) --\n");
+  for (const auto& w : wls) {
+    std::printf("%s\n", w.c_str());
+    std::printf("  %-10s %8s %8s %8s %8s %8s\n", "design", "core", "l1+l2", "llc",
+                "dram", "comp");
+    for (Design d : ExperimentRunner::paper_designs()) {
+      const EnergyBreakdown& e = r.run(w, d).m.energy;
+      const double t = e.total();
+      std::printf("  %-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", to_string(d),
+                  100 * e.core / t, 100 * e.l1l2 / t, 100 * e.llc / t,
+                  100 * e.dram / t, 100 * e.compressor / t);
+    }
+  }
+  std::printf("\npaper AVR energy (norm.): heat 0.82, lattice 0.77, kmeans 0.98,"
+              " orbit 0.92\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 11: DRAM traffic normalized to baseline, split into approximate and
+// non-approximate bytes.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  const auto wls = workload_names();
+  print_normalized_table(r, "Fig. 11: Memory traffic", wls,
+                         ExperimentRunner::paper_designs(),
+                         [](const RunMetrics& m) { return double(m.dram_bytes); });
+
+  std::printf("\n-- approx / non-approx split (bytes, AVR) --\n");
+  std::printf("%-10s %14s %14s %14s\n", "workload", "approx", "other", "metadata");
+  for (const auto& w : wls) {
+    const RunMetrics& m = r.run(w, Design::kAvr).m;
+    std::printf("%-10s %14llu %14llu %14llu\n", w.c_str(),
+                static_cast<unsigned long long>(m.dram_bytes_approx),
+                static_cast<unsigned long long>(m.dram_bytes_other),
+                static_cast<unsigned long long>(m.metadata_bytes));
+  }
+  std::printf("\npaper AVR traffic (norm.): heat 0.29, lattice 0.49, lbm 0.33,"
+              " orbit 0.52, kmeans 0.63, bscholes 0.94, wrf 0.97\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 12: average memory access time, normalized to baseline.
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  print_normalized_table(r, "Fig. 12: AMAT", workload_names(),
+                         {Design::kDoppelganger, Design::kTruncate,
+                          Design::kZeroAvr, Design::kAvr},
+                         [](const RunMetrics& m) { return m.amat; });
+  std::printf("\npaper AVR row: heat 0.80, lattice 0.57, lbm 0.70, orbit 0.84,"
+              " kmeans 0.77, wrf ~1.0\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 14: breakdown of AVR LLC requests on approximate cachelines:
+// Miss / Uncompressed Hit / DBUF Hit / Compressed Hit.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  std::printf("Fig. 14: AVR LLC requests on approximate cachelines (%%)\n");
+  std::printf("%-10s %9s %9s %9s %9s\n", "workload", "miss", "uncomp", "dbuf",
+              "compr");
+  for (const auto& w : workload_names()) {
+    const auto& d = r.run(w, Design::kAvr).m.detail;
+    const auto get = [&](const char* k) {
+      auto it = d.find(k);
+      return it == d.end() ? 0.0 : static_cast<double>(it->second);
+    };
+    const double miss = get("req_miss");
+    const double ucl = get("req_hit_ucl");
+    const double dbuf = get("req_hit_dbuf");
+    const double comp = get("req_hit_compressed");
+    const double total = miss + ucl + dbuf + comp;
+    if (total == 0) {
+      std::printf("%-10s (no approximate requests)\n", w.c_str());
+      continue;
+    }
+    std::printf("%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", w.c_str(),
+                100 * miss / total, 100 * ucl / total, 100 * dbuf / total,
+                100 * comp / total);
+  }
+  std::printf("\npaper: 40-80%% of requests hit the DBUF or compressed blocks;"
+              " kmeans ~55%% compressed + ~20%% DBUF\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 15: breakdown of AVR LLC evictions of approximate cachelines:
+// Recompress / Lazy Writeback / Fetch+Recompress / Uncompressed Writeback.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  std::printf("Fig. 15: AVR LLC evictions of approximate cachelines (%%)\n");
+  std::printf("%-10s %10s %10s %12s %10s\n", "workload", "recompr", "lazy",
+              "fetch+rec", "uncomp");
+  for (const auto& w : workload_names()) {
+    const auto& d = r.run(w, Design::kAvr).m.detail;
+    const auto get = [&](const char* k) {
+      auto it = d.find(k);
+      return it == d.end() ? 0.0 : static_cast<double>(it->second);
+    };
+    const double rec = get("evict_recompress");
+    const double lazy = get("evict_lazy_wb");
+    const double fetch = get("evict_fetch_recompress");
+    const double uncomp = get("evict_uncompressed_wb");
+    const double total = rec + lazy + fetch + uncomp;
+    if (total == 0) {
+      std::printf("%-10s (no approximate evictions)\n", w.c_str());
+      continue;
+    }
+    std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n", w.c_str(),
+                100 * rec / total, 100 * lazy / total, 100 * fetch / total,
+                100 * uncomp / total);
+  }
+  std::printf("\npaper: kmeans/bscholes ~40%% fetch+recompress, rest uncompressed;"
+              " other apps 45-80%% lazy writebacks\n");
+  return 0;
+}

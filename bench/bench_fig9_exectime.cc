@@ -1,0 +1,14 @@
+// Figure 9: total execution time, normalized to baseline.
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  print_normalized_table(r, "Fig. 9: Execution time", workload_names(),
+                         {Design::kDoppelganger, Design::kTruncate,
+                          Design::kZeroAvr, Design::kAvr},
+                         [](const RunMetrics& m) { return double(m.cycles); });
+  std::printf("\npaper AVR row: heat 0.57, lattice 0.49, lbm 0.43, orbit 0.79,"
+              " kmeans ~0.85, bscholes ~1.0, wrf 0.98\n");
+  return 0;
+}

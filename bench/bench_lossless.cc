@@ -1,0 +1,78 @@
+// Extension experiment (DESIGN.md §8): lossless BDI on top of / beside AVR.
+//
+// Sec. 2 of the paper: "lossless compression is orthogonal to AVR as it can
+// be used in our design to compress data that are not approximated, or even
+// on top of AVR approximately compressed data". This bench quantifies that:
+//   (a) BDI ratio on each workload's raw approximable data (what a lossless
+//       memory link like MemZip would achieve alone), and
+//   (b) BDI ratio on AVR compressed-block images (summary lines + outliers),
+//       i.e. the additional stacking headroom.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "avr/compressor.hh"
+#include "lossless/bdi.hh"
+#include "runtime/system.hh"
+#include "workloads/workload_registry.hh"
+
+using namespace avr;
+
+int main() {
+  std::printf("Lossless BDI stacked on AVR (extension; not a paper figure)\n");
+  std::printf("%-10s %16s %18s %16s\n", "workload", "BDI on raw",
+              "AVR ratio", "BDI on AVR image");
+
+  Compressor comp(AvrConfig{});
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name);
+    System sys(Design::kBaseline, SimConfig{}, 1, /*timing=*/false);
+    wl->run(sys);
+
+    uint64_t raw_bytes = 0, bdi_raw = 0;
+    uint64_t avr_lines = 0, total_blocks = 0;
+    uint64_t image_bytes = 0, bdi_image = 0;
+
+    for (const auto& region : sys.regions().regions()) {
+      if (!region.approx) continue;
+      const std::span<const std::byte> data(region.host.get(), region.bytes);
+      raw_bytes += region.bytes;
+      bdi_raw += lossless::encoded_bytes(data);
+
+      // Compress each block with AVR; serialize a faithful image of the
+      // summary (fixed-point words) + bitmap + outliers and BDI it.
+      for (uint64_t off = 0; off + kBlockBytes <= region.bytes; off += kBlockBytes) {
+        std::span<const float, kValuesPerBlock> vals(
+            reinterpret_cast<const float*>(region.host.get() + off), kValuesPerBlock);
+        ++total_blocks;
+        auto att = comp.compress(vals);
+        if (!att) {
+          avr_lines += kBlockLines;
+          continue;
+        }
+        avr_lines += att->block.lines();
+        std::vector<std::byte> image(att->block.lines() * kCachelineBytes,
+                                     std::byte{0});
+        std::memcpy(image.data(), att->block.summary.data(), 64);
+        if (!att->block.outliers.empty()) {
+          std::memcpy(image.data() + 64, att->block.outlier_map.words().data(), 32);
+          std::memcpy(image.data() + 96, att->block.outliers.data(),
+                      att->block.outliers.size() * 4);
+        }
+        image_bytes += image.size();
+        bdi_image += lossless::encoded_bytes(image);
+      }
+    }
+
+    const double bdi_ratio = bdi_raw ? double(raw_bytes) / bdi_raw : 1.0;
+    const double avr_ratio =
+        avr_lines ? double(total_blocks * kBlockLines) / avr_lines : 1.0;
+    const double stack = bdi_image ? double(image_bytes) / bdi_image : 1.0;
+    std::printf("%-10s %15.2fx %17.1fx %15.2fx\n", name.c_str(), bdi_ratio,
+                avr_ratio, stack);
+  }
+  std::printf("\nReading: BDI alone reaches the 2:1-4:1 regime the paper cites "
+              "for lossless\nschemes; AVR's lossy ratios are far higher, and its "
+              "block images retain a\nsmall additional lossless margin.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Micro-benchmarks of the compressor/decompressor datapath (the functional
+// model of the 49-cycle / 12-cycle pipelines of Sec. 3.3).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cmath>
+
+#include "avr/compressor.hh"
+#include "common/prng.hh"
+
+namespace {
+
+using namespace avr;
+
+std::array<float, kValuesPerBlock> make_block(int kind) {
+  std::array<float, kValuesPerBlock> b;
+  Xoshiro256 rng(kind + 1);
+  switch (kind) {
+    case 0:  // smooth: best case, no outliers
+      for (uint32_t r = 0; r < 16; ++r)
+        for (uint32_t c = 0; c < 16; ++c)
+          b[r * 16 + c] = 50.0f + 0.2f * r + 0.1f * c;
+      break;
+    case 1:  // a few outliers (compresses with an outlier line)
+      for (uint32_t i = 0; i < 256; ++i) b[i] = 50.0f + 0.05f * i;
+      // Sparse x1.5 spikes: each becomes an outlier but shifts its
+      // sub-block average by only ~3%, below T1 for the neighbours.
+      for (uint32_t i = 7; i < 256; i += 64) b[i] *= 1.5f;
+      break;
+    default:  // incompressible
+      for (auto& v : b) v = static_cast<float>(rng.uniform(-1e6, 1e6));
+  }
+  return b;
+}
+
+void BM_Compress(benchmark::State& state) {
+  Compressor comp(AvrConfig{});
+  const auto block = make_block(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto att = comp.compress(block);
+    benchmark::DoNotOptimize(att);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_Compress)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Reconstruct(benchmark::State& state) {
+  Compressor comp(AvrConfig{});
+  const auto block = make_block(static_cast<int>(state.range(0)));
+  auto att = comp.compress(block);
+  if (!att) {
+    state.SkipWithError("block did not compress");
+    return;
+  }
+  std::array<float, kValuesPerBlock> out;
+  for (auto _ : state) {
+    comp.reconstruct(att->block, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_Reconstruct)->Arg(0)->Arg(1);
+
+void BM_OutlierCheck(benchmark::State& state) {
+  Compressor comp(AvrConfig{});
+  for (auto _ : state) {
+    bool o = comp.value_is_outlier(1.234f, 1.235f);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_OutlierCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro-benchmarks of the decoupled AVR LLC model vs a conventional
+// set-associative cache model (simulator throughput, not hardware latency).
+#include <benchmark/benchmark.h>
+
+#include "avr/avr_llc.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/prng.hh"
+
+namespace {
+
+using namespace avr;
+
+void BM_ConventionalLookup(benchmark::State& state) {
+  SetAssocCache c("bench", 1 << 20, 16);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 8192; ++i) c.fill(rng.below(1 << 14) * 64, false);
+  Xoshiro256 addr(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(addr.below(1 << 14) * 64, false));
+  }
+}
+BENCHMARK(BM_ConventionalLookup);
+
+void BM_AvrUclLookup(benchmark::State& state) {
+  AvrLlc llc(CacheConfig{1 << 20, 16, 15});
+  Xoshiro256 rng(1);
+  std::vector<LlcVictim> v;
+  for (int i = 0; i < 8192; ++i) {
+    const uint64_t line = rng.below(1 << 14) * 64;
+    if (!llc.ucl_present(line)) llc.ucl_insert(line, false, v);
+    v.clear();
+  }
+  Xoshiro256 addr(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.ucl_access(addr.below(1 << 14) * 64, false));
+  }
+}
+BENCHMARK(BM_AvrUclLookup);
+
+void BM_AvrCmsInsertRemove(benchmark::State& state) {
+  AvrLlc llc(CacheConfig{1 << 20, 16, 15});
+  std::vector<LlcVictim> v;
+  uint64_t block = 0;
+  for (auto _ : state) {
+    llc.cms_insert(block * kBlockBytes, 4, false, v);
+    llc.cms_remove(block * kBlockBytes);
+    v.clear();
+    block = (block + 1) & 1023;
+  }
+}
+BENCHMARK(BM_AvrCmsInsertRemove);
+
+void BM_AvrUclInsertEvict(benchmark::State& state) {
+  AvrLlc llc(CacheConfig{64 * 1024, 8, 15});
+  Xoshiro256 rng(7);
+  std::vector<LlcVictim> v;
+  for (auto _ : state) {
+    const uint64_t line = rng.below(1 << 16) * 64;
+    if (!llc.ucl_present(line)) llc.ucl_insert(line, false, v);
+    v.clear();
+  }
+}
+BENCHMARK(BM_AvrUclInsertEvict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

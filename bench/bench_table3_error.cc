@@ -1,0 +1,31 @@
+// Table 3: application output error per design (dganger / truncate / AVR),
+// measured as the mean relative error of each output value vs the exact run.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  const auto wls = workload_names();
+  std::printf("Table 3: Application output error (%%)\n");
+  std::printf("%-10s", "design");
+  for (const auto& w : wls) std::printf(" %9s", w.c_str());
+  std::printf("\n");
+  for (Design d : {Design::kDoppelganger, Design::kTruncate, Design::kAvr}) {
+    std::printf("%-10s", to_string(d));
+    for (const auto& w : wls) {
+      const double e = 100.0 * r.run(w, d).m.output_error;
+      if (e < 0.05)
+        std::printf(" %9s", "<0.05");
+      else if (e > 100.0)
+        std::printf(" %9s", ">100");
+      else
+        std::printf(" %8.1f%%", e);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper     heat=0.7 lattice=0.6 lbm=0.1 orbit<0.05 kmeans=1.2 "
+              "bscholes=0.5 wrf=8.9  (AVR row)\n");
+  return 0;
+}

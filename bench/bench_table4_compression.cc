@@ -1,0 +1,37 @@
+// Table 4: AVR compression ratio and total memory footprint relative to the
+// baseline. Footprint here follows the paper's definition: compressed bytes
+// of approximable data plus exact bytes of everything else, over the
+// uncompressed total.
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+int main() {
+  using namespace avr;
+  ExperimentRunner r;
+  const auto wls = workload_names();
+  std::printf("Table 4: AVR compression ratio and footprint\n");
+  std::printf("%-14s", "metric");
+  for (const auto& w : wls) std::printf(" %9s", w.c_str());
+  std::printf("\n");
+
+  std::printf("%-14s", "compr. ratio");
+  for (const auto& w : wls)
+    std::printf(" %8.1fx", r.run(w, Design::kAvr).m.compression_ratio);
+  std::printf("\n");
+
+  std::printf("%-14s", "mem footprint");
+  for (const auto& w : wls) {
+    const RunMetrics& m = r.run(w, Design::kAvr).m;
+    const double approx = static_cast<double>(m.approx_bytes);
+    const double exact = static_cast<double>(m.footprint_bytes) - approx;
+    const double ratio = m.compression_ratio > 0 ? m.compression_ratio : 1.0;
+    const double frac = (exact + approx / ratio) / (exact + approx);
+    std::printf(" %8.1f%%", 100.0 * frac);
+  }
+  std::printf("\n");
+
+  std::printf("\npaper ratio    10.5x 9.6x 15.6x 16.0x 2.3x 4.7x 3.4x\n");
+  std::printf("paper footprint 12.6%% 20.0%% 7.9%% 54.1%% 58.5%% 78.6%% 89.6%%\n");
+  return 0;
+}

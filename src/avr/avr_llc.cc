@@ -1,0 +1,354 @@
+#include "avr/avr_llc.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace avr {
+
+AvrLlc::AvrLlc(const CacheConfig& cfg) : ways_(cfg.ways) {
+  const uint64_t entries = cfg.size_bytes / kCachelineBytes;
+  if (cfg.ways == 0 || entries % cfg.ways != 0)
+    throw std::invalid_argument("LLC size/ways mismatch");
+  const uint64_t sets = entries / cfg.ways;
+  if (!std::has_single_bit(sets)) throw std::invalid_argument("sets not power of two");
+  sets_ = static_cast<uint32_t>(sets);
+  set_bits_ = static_cast<uint32_t>(std::countr_zero(sets));
+  tags_.resize(uint64_t{sets_} * ways_);
+  bpa_.resize(uint64_t{sets_} * ways_);
+}
+
+// ---- tag array ------------------------------------------------------------
+
+AvrLlc::TagEntry* AvrLlc::find_tag(uint64_t block) {
+  const uint64_t set = tag_index(block);
+  const uint64_t tag = block_tag(block);
+  TagEntry* base = &tags_[set * ways_];
+  for (uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].block_tag == tag) return &base[w];
+  return nullptr;
+}
+
+const AvrLlc::TagEntry* AvrLlc::find_tag(uint64_t block) const {
+  return const_cast<AvrLlc*>(this)->find_tag(block);
+}
+
+uint32_t AvrLlc::ensure_tag(uint64_t block, std::vector<LlcVictim>& out) {
+  const uint64_t set = tag_index(block);
+  const uint64_t tag = block_tag(block);
+  TagEntry* base = &tags_[set * ways_];
+  for (uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].block_tag == tag) return w;
+
+  // Allocate: free way if possible, else evict the LRU tag with all its
+  // resident UCLs and CMSs (Sec. 3.4, "Allocation for a tag entry").
+  uint32_t victim = ways_;
+  for (uint32_t w = 0; w < ways_; ++w)
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+  if (victim == ways_) {
+    victim = 0;
+    for (uint32_t w = 1; w < ways_; ++w)
+      if (base[w].lru < base[victim].lru) victim = w;
+    evict_tag(static_cast<uint32_t>(set), victim, out);
+    stats_.add("tag_evictions");
+  }
+  base[victim] = TagEntry{};
+  base[victim].valid = true;
+  base[victim].block_tag = tag;
+  base[victim].lru = ++lru_clock_;
+  return victim;
+}
+
+void AvrLlc::maybe_free_tag(uint32_t set, uint32_t way) {
+  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
+  if (t.valid && t.cms == 0 && t.ucl == 0) t.valid = false;
+}
+
+void AvrLlc::evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out) {
+  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
+  assert(t.valid);
+  const uint64_t block = block_addr_of_tag(set, t);
+  // UCLs of this block live in 16 known BPA sets.
+  for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
+    const uint64_t line = block + cl * kCachelineBytes;
+    const uint64_t s = ucl_index(line);
+    BpaEntry* base = &bpa_[s * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      BpaEntry& e = base[w];
+      if (e.valid && !e.is_cms && e.tag_set == set && e.tag_way == way && e.cl_id == cl) {
+        out.push_back({LlcVictim::kUcl, line, e.dirty});
+        e.valid = false;
+        t.ucl--;
+      }
+    }
+  }
+  if (t.cms > 0) {
+    out.push_back({LlcVictim::kCmsBlock, block, t.block_dirty});
+    remove_cms_entries(block, static_cast<uint32_t>(tag_index(block)), t.cms);
+    t.cms = 0;
+  }
+  assert(t.ucl == 0);
+  t.valid = false;
+}
+
+// ---- BPA / data array -----------------------------------------------------
+
+AvrLlc::BpaEntry* AvrLlc::find_ucl(uint64_t line) {
+  const uint64_t block = block_addr(line);
+  const TagEntry* t = find_tag(block);
+  if (!t || t->ucl == 0) return nullptr;
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  const uint64_t s = ucl_index(line);
+  const uint8_t suffix = static_cast<uint8_t>(line_in_block(line));
+  BpaEntry* base = &bpa_[s * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    BpaEntry& e = base[w];
+    // Hit requires: matching CL tag suffix AND the back pointer naming the
+    // way of the matching tag (Sec. 3.4, "LLC Lookup").
+    if (e.valid && !e.is_cms && e.cl_id == suffix && e.tag_set == tset &&
+        e.tag_way == tway)
+      return &e;
+  }
+  return nullptr;
+}
+
+const AvrLlc::BpaEntry* AvrLlc::find_ucl(uint64_t line) const {
+  return const_cast<AvrLlc*>(this)->find_ucl(line);
+}
+
+uint32_t AvrLlc::make_room(uint64_t set, std::vector<LlcVictim>& out) {
+  BpaEntry* base = &bpa_[set * ways_];
+  for (uint32_t w = 0; w < ways_; ++w)
+    if (!base[w].valid) return w;
+  uint32_t victim = 0;
+  for (uint32_t w = 1; w < ways_; ++w)
+    if (base[w].lru < base[victim].lru) victim = w;
+  release_entry(set, victim, out);
+  return victim;
+}
+
+void AvrLlc::release_entry(uint64_t set, uint32_t way, std::vector<LlcVictim>& out) {
+  BpaEntry& e = bpa_[set * ways_ + way];
+  assert(e.valid);
+  TagEntry& t = tags_[uint64_t{e.tag_set} * ways_ + e.tag_way];
+  const uint64_t block = block_addr_of_tag(e.tag_set, t);
+  if (!e.is_cms) {
+    out.push_back({LlcVictim::kUcl, block + uint64_t{e.cl_id} * kCachelineBytes, e.dirty});
+    e.valid = false;
+    assert(t.ucl > 0);
+    t.ucl--;
+    maybe_free_tag(e.tag_set, e.tag_way);
+    return;
+  }
+  // A CMS victim drags the entire compressed image out (Sec. 3.5).
+  out.push_back({LlcVictim::kCmsBlock, block, t.block_dirty});
+  remove_cms_entries(block, static_cast<uint32_t>(tag_index(block)), t.cms);
+  t.cms = 0;
+  t.block_dirty = false;
+  maybe_free_tag(e.tag_set, e.tag_way);
+  stats_.add("cms_collateral_evictions");
+}
+
+void AvrLlc::remove_cms_entries(uint64_t block, uint32_t set0, uint32_t count) {
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const TagEntry* t = find_tag(block);
+  assert(t);
+  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t s = (set0 + i) & (sets_ - 1);
+    BpaEntry* base = &bpa_[s * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      BpaEntry& e = base[w];
+      if (e.valid && e.is_cms && e.cl_id == i && e.tag_set == tset && e.tag_way == tway) {
+        e.valid = false;
+        break;
+      }
+    }
+  }
+}
+
+// ---- UCL public operations --------------------------------------------------
+
+bool AvrLlc::ucl_access(uint64_t line, bool write) {
+  stats_.add("ucl_accesses");
+  BpaEntry* e = find_ucl(line);
+  if (!e) return false;
+  e->lru = ++lru_clock_;
+  if (write) e->dirty = true;
+  TagEntry& t = tags_[uint64_t{e->tag_set} * ways_ + e->tag_way];
+  t.lru = ++lru_clock_;
+  // Accessing any UCL of a block refreshes its CMS entries' LRU (Sec. 3.4).
+  if (t.cms > 0) cms_touch(block_addr(line));
+  stats_.add("ucl_hits");
+  return true;
+}
+
+bool AvrLlc::ucl_present(uint64_t line) const { return find_ucl(line) != nullptr; }
+
+void AvrLlc::ucl_insert(uint64_t line, bool dirty, std::vector<LlcVictim>& out) {
+  assert(!ucl_present(line));
+  const uint64_t block = block_addr(line);
+  const uint32_t tway = ensure_tag(block, out);
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint64_t s = ucl_index(line);
+  const uint32_t w = make_room(s, out);
+  BpaEntry& e = bpa_[s * ways_ + w];
+  e.valid = true;
+  e.dirty = dirty;
+  e.is_cms = false;
+  e.cl_id = static_cast<uint8_t>(line_in_block(line));
+  e.tag_set = tset;
+  e.tag_way = tway;
+  e.lru = ++lru_clock_;
+  TagEntry& t = tags_[uint64_t{tset} * ways_ + tway];
+  t.ucl++;
+  t.lru = lru_clock_;
+  stats_.add("ucl_fills");
+}
+
+std::optional<bool> AvrLlc::ucl_invalidate(uint64_t line) {
+  BpaEntry* e = find_ucl(line);
+  if (!e) return std::nullopt;
+  const bool dirty = e->dirty;
+  TagEntry& t = tags_[uint64_t{e->tag_set} * ways_ + e->tag_way];
+  e->valid = false;
+  assert(t.ucl > 0);
+  t.ucl--;
+  maybe_free_tag(e->tag_set, e->tag_way);
+  return dirty;
+}
+
+void AvrLlc::ucl_mark_clean(uint64_t line) {
+  if (BpaEntry* e = find_ucl(line)) e->dirty = false;
+}
+
+// ---- CMS public operations ---------------------------------------------------
+
+bool AvrLlc::cms_present(uint64_t block) const {
+  const TagEntry* t = find_tag(block_addr(block));
+  return t && t->cms > 0;
+}
+
+uint32_t AvrLlc::cms_count(uint64_t block) const {
+  const TagEntry* t = find_tag(block_addr(block));
+  return t ? t->cms : 0;
+}
+
+bool AvrLlc::cms_dirty(uint64_t block) const {
+  const TagEntry* t = find_tag(block_addr(block));
+  return t && t->block_dirty;
+}
+
+void AvrLlc::cms_mark_dirty(uint64_t block) {
+  if (TagEntry* t = find_tag(block_addr(block))) t->block_dirty = true;
+}
+
+void AvrLlc::cms_touch(uint64_t block) {
+  block = block_addr(block);
+  TagEntry* t = find_tag(block);
+  if (!t || t->cms == 0) return;
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  t->lru = ++lru_clock_;
+  for (uint32_t i = 0; i < t->cms; ++i) {
+    const uint64_t s = (tset + i) & (sets_ - 1);
+    BpaEntry* base = &bpa_[s * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      BpaEntry& e = base[w];
+      if (e.valid && e.is_cms && e.cl_id == i && e.tag_set == tset && e.tag_way == tway) {
+        e.lru = lru_clock_;
+        break;
+      }
+    }
+  }
+}
+
+void AvrLlc::cms_insert(uint64_t block, uint32_t count, bool dirty,
+                        std::vector<LlcVictim>& out) {
+  block = block_addr(block);
+  assert(count >= 1 && count <= kMaxCompressedLines);
+  assert(!cms_present(block) && "remove the old image first");
+  const uint32_t tway = ensure_tag(block, out);
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  // Consecutive-set allocation starting at the tag index (Sec. 3.4).
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t s = (tset + i) & (sets_ - 1);
+    const uint32_t w = make_room(s, out);
+    BpaEntry& e = bpa_[s * ways_ + w];
+    e.valid = true;
+    e.dirty = dirty;
+    e.is_cms = true;
+    e.cl_id = static_cast<uint8_t>(i);
+    e.tag_set = tset;
+    e.tag_way = tway;
+    e.lru = ++lru_clock_;
+  }
+  TagEntry& t = tags_[uint64_t{tset} * ways_ + tway];
+  // make_room may have evicted this very block's image as collateral if the
+  // sets were full of its own lines; re-find to stay safe.
+  assert(t.valid);
+  t.cms = count;
+  t.block_dirty = dirty;
+  t.lru = ++lru_clock_;
+  stats_.add("cms_fills", count);
+}
+
+void AvrLlc::cms_remove(uint64_t block) {
+  block = block_addr(block);
+  TagEntry* t = find_tag(block);
+  if (!t || t->cms == 0) return;
+  remove_cms_entries(block, static_cast<uint32_t>(tag_index(block)), t->cms);
+  t->cms = 0;
+  t->block_dirty = false;
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  maybe_free_tag(tset, static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]));
+}
+
+// ---- block-level queries -----------------------------------------------------
+
+std::vector<uint64_t> AvrLlc::ucls_of_block(uint64_t block, bool dirty_only) const {
+  block = block_addr(block);
+  std::vector<uint64_t> out;
+  const TagEntry* t = find_tag(block);
+  if (!t || t->ucl == 0) return out;
+  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
+    const uint64_t line = block + cl * kCachelineBytes;
+    const uint64_t s = ucl_index(line);
+    const BpaEntry* base = &bpa_[s * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      const BpaEntry& e = base[w];
+      if (e.valid && !e.is_cms && e.tag_set == tset && e.tag_way == tway &&
+          e.cl_id == cl && (!dirty_only || e.dirty))
+        out.push_back(line);
+    }
+  }
+  return out;
+}
+
+std::vector<LlcVictim> AvrLlc::all_resident() const {
+  std::vector<LlcVictim> out;
+  for (uint32_t set = 0; set < sets_; ++set)
+    for (uint32_t w = 0; w < ways_; ++w) {
+      const TagEntry& t = tags_[uint64_t{set} * ways_ + w];
+      if (!t.valid) continue;
+      const uint64_t block = block_addr_of_tag(set, t);
+      if (t.cms > 0) out.push_back({LlcVictim::kCmsBlock, block, t.block_dirty});
+    }
+  for (uint64_t s = 0; s < sets_; ++s)
+    for (uint32_t w = 0; w < ways_; ++w) {
+      const BpaEntry& e = bpa_[s * ways_ + w];
+      if (!e.valid || e.is_cms) continue;
+      const TagEntry& t = tags_[uint64_t{e.tag_set} * ways_ + e.tag_way];
+      const uint64_t block = block_addr_of_tag(e.tag_set, t);
+      out.push_back({LlcVictim::kUcl, block + uint64_t{e.cl_id} * kCachelineBytes, e.dirty});
+    }
+  return out;
+}
+
+}  // namespace avr

@@ -1,0 +1,140 @@
+// The AVR Last Level Cache (Sec. 3.4, Fig. 6).
+//
+// A decoupled sectored cache: the tag array tracks memory *blocks*
+// (16-cacheline granularity) while the back-pointer array (BPA) + data
+// array track individual 64 B entries, each of which is either an
+// uncompressed cacheline (UCL) or one compressed memory sub-block (CMS).
+//
+// Indexing (address = | block tag m | tag index n | CL offset 4 | byte 6 |):
+//   * tag array set        = tag index            (block granularity)
+//   * UCL set              = (addr >> 6) mod sets (conventional indexing)
+//   * CMS #i of a block    = set (tag index + i) mod sets
+// so a block's UCLs and its CMSs never contend for the same associativity.
+//
+// This class owns the arrays and the replacement machinery; the eviction
+// *flows* (Fig. 8) are driven by AvrSystem, which receives every victim this
+// cache produces and decides recompression / lazy writeback / etc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace avr {
+
+/// A victim pushed out of the LLC. For a UCL, `addr` is the cacheline
+/// address. For a CMS victim the *whole block* leaves the cache (partial
+/// compressed blocks are useless, Sec. 3.5) and `addr` is the block address.
+struct LlcVictim {
+  enum Kind { kUcl, kCmsBlock } kind = kUcl;
+  uint64_t addr = 0;
+  bool dirty = false;
+};
+
+class AvrLlc {
+ public:
+  explicit AvrLlc(const CacheConfig& cfg);
+
+  // ---- UCL path -----------------------------------------------------------
+  /// Lookup an uncompressed cacheline; on hit updates LRU (block tag LRU and
+  /// the block's CMS LRU bits refresh too) and the dirty bit for writes.
+  bool ucl_access(uint64_t line, bool write);
+  bool ucl_present(uint64_t line) const;
+  /// Insert a UCL (must be absent). Victims are appended to `out`.
+  void ucl_insert(uint64_t line, bool dirty, std::vector<LlcVictim>& out);
+  /// Drop a UCL without writeback; returns its dirty bit if present.
+  std::optional<bool> ucl_invalidate(uint64_t line);
+  /// Mark an existing UCL clean (it was folded into a recompressed block).
+  void ucl_mark_clean(uint64_t line);
+
+  // ---- CMS path -----------------------------------------------------------
+  /// Is the compressed image of `block` resident (all CMSs)?
+  bool cms_present(uint64_t block) const;
+  uint32_t cms_count(uint64_t block) const;
+  bool cms_dirty(uint64_t block) const;
+  void cms_mark_dirty(uint64_t block);
+  void cms_touch(uint64_t block);  // LRU refresh on block access
+  /// Insert the `count` CMSs of a compressed block (old copy, if any, must
+  /// have been removed). Victims are appended to `out`.
+  void cms_insert(uint64_t block, uint32_t count, bool dirty,
+                  std::vector<LlcVictim>& out);
+  /// Remove a block's CMSs without writeback (e.g. before re-inserting the
+  /// recompressed image). The tag stays while UCLs remain.
+  void cms_remove(uint64_t block);
+
+  // ---- block-level queries -------------------------------------------------
+  /// Cacheline addresses of this block's UCLs currently in the LLC.
+  std::vector<uint64_t> ucls_of_block(uint64_t block, bool dirty_only) const;
+
+  /// Every resident entry, for the end-of-run drain.
+  std::vector<LlcVictim> all_resident() const;
+
+  uint32_t num_sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+
+  /// Static structure overhead in bits per data-array entry (Sec. 4.2):
+  /// BPA entry bits beyond a conventional cache's dirty/valid/LRU.
+  static constexpr uint32_t kBpaExtraBitsPerEntry = 18;
+
+  const StatGroup& stats() const { return stats_; }
+  StatGroup& stats() { return stats_; }
+
+ private:
+  struct TagEntry {
+    bool valid = false;
+    bool block_dirty = false;  // the compressed image is dirty
+    uint64_t block_tag = 0;
+    uint32_t cms = 0;  // CMS count, 0 = compressed image absent
+    uint32_t ucl = 0;  // number of UCLs of this block in the LLC
+    uint64_t lru = 0;
+  };
+  struct BpaEntry {
+    bool valid = false;
+    bool dirty = false;
+    bool is_cms = false;
+    uint8_t cl_id = 0;     // UCL: CL offset in block; CMS: sub-block index
+    uint32_t tag_set = 0;  // way+set of the owning tag entry
+    uint32_t tag_way = 0;
+    uint64_t lru = 0;
+  };
+
+  uint64_t tag_index(uint64_t block) const { return (block >> 10) & (sets_ - 1); }
+  uint64_t ucl_index(uint64_t line) const { return (line >> 6) & (sets_ - 1); }
+  uint64_t block_tag(uint64_t block) const { return block >> 10 >> set_bits_; }
+  uint64_t block_addr_of_tag(uint32_t set, const TagEntry& t) const {
+    return ((t.block_tag << set_bits_) | set) << 10;
+  }
+
+  TagEntry* find_tag(uint64_t block);
+  const TagEntry* find_tag(uint64_t block) const;
+  /// Find-or-allocate the tag entry; allocation may evict a victim tag and
+  /// therefore all of its resident lines (appended to `out`).
+  uint32_t ensure_tag(uint64_t block, std::vector<LlcVictim>& out);
+  void maybe_free_tag(uint32_t set, uint32_t way);
+  /// Evict everything belonging to the tag at (set, way).
+  void evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out);
+
+  BpaEntry* find_ucl(uint64_t line);
+  const BpaEntry* find_ucl(uint64_t line) const;
+  /// Pick the LRU victim way in BPA set `set` and release it, appending any
+  /// eviction to `out`. Returns the freed way.
+  uint32_t make_room(uint64_t set, std::vector<LlcVictim>& out);
+  /// Release the BPA entry at (set, way): for a UCL report it; for a CMS
+  /// evict the whole owning block's compressed image.
+  void release_entry(uint64_t set, uint32_t way, std::vector<LlcVictim>& out);
+  void remove_cms_entries(uint64_t block, uint32_t set0, uint32_t count);
+
+  std::vector<TagEntry> tags_;  // sets_ x ways_
+  std::vector<BpaEntry> bpa_;   // sets_ x ways_
+  uint32_t sets_ = 0;
+  uint32_t ways_ = 0;
+  uint32_t set_bits_ = 0;
+  uint64_t lru_clock_ = 0;
+  StatGroup stats_{"avr_llc"};
+};
+
+}  // namespace avr

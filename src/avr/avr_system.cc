@@ -1,0 +1,405 @@
+#include "avr/avr_system.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace avr {
+
+AvrSystem::AvrSystem(const SimConfig& cfg, RegionRegistry& regions)
+    : cfg_(cfg),
+      regions_(regions),
+      dram_(cfg.dram),
+      llc_(cfg.llc),
+      cmt_(),
+      compressor_(cfg.avr) {}
+
+DType AvrSystem::dtype_of(uint64_t addr) const {
+  const MemoryRegion* r = regions_.find(addr);
+  return r ? r->dtype : DType::kFloat32;
+}
+
+uint64_t AvrSystem::dram_read(uint64_t now, uint64_t addr, uint32_t bytes,
+                              bool is_approx) {
+  stats_.add(is_approx ? "traffic_approx_bytes" : "traffic_other_bytes", bytes);
+  return dram_.read(now, addr, bytes);
+}
+
+void AvrSystem::dram_write(uint64_t now, uint64_t addr, uint32_t bytes,
+                           bool is_approx) {
+  stats_.add(is_approx ? "traffic_approx_bytes" : "traffic_other_bytes", bytes);
+  dram_.write(now, addr, bytes);
+}
+
+AvrSystem::CompressOutcome AvrSystem::compress_block_values(uint64_t block) {
+  stats_.add("compress_attempts");
+  auto vals = regions_.block_values(block);
+  auto att = compressor_.compress(vals, dtype_of(block));
+  if (!att) {
+    stats_.add("compress_failures");
+    return {};
+  }
+  // The block now lives in summarized form: every subsequent read observes
+  // the reconstruction. Outliers are stored exactly, so reconstruct() leaves
+  // them bit-identical.
+  compressor_.reconstruct(att->block, vals);
+  stats_.add("compress_successes");
+  compressed_lines_sum_ += att->block.lines();
+  compressed_blocks_ += 1;
+  return {att->block.lines(), att->block.method, att->block.bias};
+}
+
+double AvrSystem::mean_compression_ratio() const {
+  if (compressed_blocks_ == 0) return 1.0;
+  const double mean_lines =
+      static_cast<double>(compressed_lines_sum_) / static_cast<double>(compressed_blocks_);
+  return static_cast<double>(kBlockLines) / mean_lines;
+}
+
+bool AvrSystem::should_skip_attempt(BlockMeta& meta) {
+  if (!cfg_.avr.enable_failure_history) return false;
+  if (meta.failed == 0) return false;
+  // "Max tries" (Fig. 8): a block that failed persistently is treated as
+  // incompressible for good — re-attempting means re-fetching its missing
+  // lines from memory, which would hand back all of the bandwidth savings.
+  if (meta.failed >= cfg_.avr.max_failures) {
+    stats_.add("attempts_skipped");
+    return true;
+  }
+  const uint32_t budget = std::min<uint32_t>(meta.failed, cfg_.avr.max_skips);
+  if (meta.skipped < budget) {
+    meta.skipped = static_cast<uint8_t>(meta.skipped + 1);
+    stats_.add("attempts_skipped");
+    return true;
+  }
+  meta.skipped = 0;  // budget exhausted: allow one real attempt
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Request flow (Fig. 7)
+// ---------------------------------------------------------------------------
+
+uint64_t AvrSystem::request(uint64_t now, uint64_t line, bool write) {
+  line = line_addr(line);
+  const uint64_t block = block_addr(line);
+  const bool ap = approx(line);
+  last_was_miss_ = false;
+  stats_.add("requests");
+  if (ap) stats_.add("approx_requests");
+
+  std::vector<LlcVictim> victims;
+
+  // 1. DBUF lookup, in parallel with the tag array.
+  if (ap && dbuf_.holds(line)) {
+    stats_.add("req_hit_dbuf");
+    dbuf_.mark_requested(line);
+    // The UCL is also written from the DBUF into the LLC (Sec. 3.5).
+    if (!llc_.ucl_present(line)) {
+      llc_.ucl_insert(line, write, victims);
+      dbuf_.mark_in_llc(line);
+      process_victims(now, victims, 0);
+    } else {
+      llc_.ucl_access(line, write);
+    }
+    return cfg_.llc.latency;
+  }
+
+  // 2. UCL lookup.
+  if (llc_.ucl_access(line, write)) {
+    stats_.add(ap ? "req_hit_ucl" : "req_hit_ucl_other");
+    return cfg_.llc.latency;
+  }
+
+  // 3. CMS lookup: is the compressed image resident?
+  if (ap && llc_.cms_present(block)) {
+    stats_.add("req_hit_compressed");
+    const uint32_t k = llc_.cms_count(block);
+    llc_.cms_touch(block);
+    stats_.add("decompressions");
+    // Displace the DBUF: consult the PFE about the outgoing block first.
+    run_pfe(now, 0);
+    dbuf_.refill(block);
+    dbuf_.mark_requested(line);
+    llc_.ucl_insert(line, write, victims);
+    dbuf_.mark_in_llc(line);
+    process_victims(now, victims, 0);
+    const uint64_t lat = cfg_.llc.latency +
+                         uint64_t{cfg_.avr.cms_stream_cycles} * (k - 1) +
+                         cfg_.avr.decompress_latency;
+    stats_.add("hit_compressed_latency_total", lat);
+    return lat;
+  }
+
+  // 4. Miss.
+  last_was_miss_ = true;
+  stats_.add(ap ? "req_miss" : "req_miss_other");
+
+  if (!ap) {
+    const uint64_t lat = dram_read(now, line, kCachelineBytes, false);
+    llc_.ucl_insert(line, write, victims);
+    process_victims(now, victims, 0);
+    return lat + cfg_.llc.latency;
+  }
+
+  BlockMeta& meta = cmt_.lookup(block);
+  if (meta.compressed()) {
+    // Fetch the compressed image together with any lazily evicted lines.
+    const uint32_t lines = meta.size_lines + meta.lazy_count;
+    const uint64_t lat_dram =
+        dram_read(now, block, lines * kCachelineBytes, true);
+    stats_.add("decompressions");
+    stats_.add("block_fetches");
+    stats_.add("block_fetch_lines", lines);
+
+    bool inserted_cms = false;
+    if (meta.lazy_count > 0) {
+      // Incorporate lazy lines and recompress immediately; the merged block
+      // is marked dirty in the LLC (Sec. 3.5).
+      const CompressOutcome out = compress_block_values(block);
+      if (out.lines > 0) {
+        llc_.cms_insert(block, out.lines, /*dirty=*/true, victims);
+        inserted_cms = true;
+      } else {
+        // Merged block no longer compresses: it becomes uncompressed in
+        // memory right away.
+        dram_write(now, block, kBlockBytes, true);
+        meta.method = Method::kUncompressed;
+        meta.size_lines = 0;
+        meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
+        meta.lazy_count = 0;
+        cmt_.clear_lazy_lines(block);
+      }
+      if (inserted_cms) {
+        meta.lazy_count = 0;
+        cmt_.clear_lazy_lines(block);
+        // The dirty LLC image supersedes the memory image; CMT size is
+        // refreshed when it is written back.
+      }
+    } else {
+      llc_.cms_insert(block, meta.size_lines, /*dirty=*/false, victims);
+      inserted_cms = true;
+    }
+
+    run_pfe(now, 0);
+    dbuf_.refill(block);
+    dbuf_.mark_requested(line);
+    if (!llc_.ucl_present(line)) {
+      llc_.ucl_insert(line, write, victims);
+      dbuf_.mark_in_llc(line);
+    } else {
+      llc_.ucl_access(line, write);
+    }
+    process_victims(now, victims, 0);
+    const uint32_t k = inserted_cms ? llc_.cms_count(block) : meta.size_lines;
+    return lat_dram + uint64_t{cfg_.avr.cms_stream_cycles} * (k > 0 ? k - 1 : 0) +
+           cfg_.avr.decompress_latency + cfg_.llc.latency;
+  }
+
+  // Uncompressed (or never-compressed) block: per-line access like baseline.
+  const uint64_t lat = dram_read(now, line, kCachelineBytes, true);
+  llc_.ucl_insert(line, write, victims);
+  process_victims(now, victims, 0);
+  return lat + cfg_.llc.latency;
+}
+
+void AvrSystem::writeback(uint64_t now, uint64_t line) {
+  line = line_addr(line);
+  std::vector<LlcVictim> victims;
+  if (llc_.ucl_access(line, /*write=*/true)) return;  // landed on a resident UCL
+  llc_.ucl_insert(line, /*dirty=*/true, victims);
+  if (dbuf_.holds(line)) dbuf_.mark_in_llc(line);
+  process_victims(now, victims, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction flow (Fig. 8)
+// ---------------------------------------------------------------------------
+
+void AvrSystem::process_victims(uint64_t now, std::vector<LlcVictim>& victims,
+                                int depth) {
+  // Victims may cascade (tag evictions, CMS reallocation); process a copy so
+  // re-entrant inserts can use a fresh vector.
+  std::vector<LlcVictim> local;
+  local.swap(victims);
+  for (const LlcVictim& v : local) {
+    if (v.kind == LlcVictim::kUcl) {
+      if (!v.dirty) continue;  // clean lines vanish silently
+      handle_dirty_ucl(now, v.addr, depth);
+    } else {
+      handle_cms_block_evict(now, v.addr, v.dirty, depth);
+    }
+  }
+}
+
+void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
+  const uint64_t block = block_addr(line);
+  if (!approx(line)) {
+    dram_write(now, line, kCachelineBytes, false);
+    stats_.add("evict_other_wb");
+    return;
+  }
+  stats_.add("approx_evictions");
+
+  // Case 1: the compressed image is in the LLC -> update and recompress it
+  // on chip (no memory traffic).
+  if (llc_.cms_present(block) && depth < kMaxDepth) {
+    stats_.add("evict_recompress");
+    stats_.add("decompressions");
+    const CompressOutcome out = compress_block_values(block);
+    std::vector<LlcVictim> victims;
+    llc_.cms_remove(block);
+    if (out.lines > 0) {
+      llc_.cms_insert(block, out.lines, /*dirty=*/true, victims);
+    } else {
+      // Compression failed: the block leaves the LLC uncompressed.
+      BlockMeta& meta = cmt_.lookup(block);
+      dram_write(now, block, kBlockBytes, true);
+      meta.method = Method::kUncompressed;
+      meta.size_lines = 0;
+      meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
+      meta.lazy_count = 0;
+      cmt_.clear_lazy_lines(block);
+    }
+    process_victims(now, victims, depth + 1);
+    return;
+  }
+
+  BlockMeta& meta = cmt_.lookup(block);
+
+  // Case 2: block compressed in memory and there is room in its 1 KB slot:
+  // lazily write the line back uncompressed (Sec. 3.1).
+  if (meta.compressed() && cfg_.avr.enable_lazy_eviction && meta.lazy_space() > 0) {
+    stats_.add("evict_lazy_wb");
+    dram_write(now, line, kCachelineBytes, true);
+    cmt_.add_lazy_line(block, line_in_block(line));
+    meta.lazy_count = static_cast<uint8_t>(meta.lazy_count + 1);
+    return;
+  }
+
+  // Case 3: block compressed in memory, no lazy space: fetch, merge,
+  // recompress, write back.
+  if (meta.compressed()) {
+    stats_.add("evict_fetch_recompress");
+    const uint32_t lines = meta.size_lines + meta.lazy_count;
+    dram_read(now, block, lines * kCachelineBytes, true);
+    stats_.add("decompressions");
+    const CompressOutcome out = compress_block_values(block);
+    if (out.lines > 0) {
+      dram_write(now, block, out.lines * kCachelineBytes, true);
+      meta.size_lines = static_cast<uint8_t>(out.lines);
+      meta.method = out.method;
+      meta.bias = out.bias;
+      meta.failed = 0;
+      meta.skipped = 0;
+    } else {
+      dram_write(now, block, kBlockBytes, true);
+      meta.method = Method::kUncompressed;
+      meta.size_lines = 0;
+      meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
+    }
+    meta.lazy_count = 0;
+    cmt_.clear_lazy_lines(block);
+    return;
+  }
+
+  // Case 4: block is uncompressed in memory. Consult the failure history to
+  // decide whether to attempt compression at all (Sec. 3.5). This path only
+  // touches memory (no LLC re-insertion), so it is safe at any depth.
+  if (should_skip_attempt(meta)) {
+    stats_.add("evict_uncompressed_wb");
+    dram_write(now, line, kCachelineBytes, true);
+    return;
+  }
+
+  // Attempt: missing lines of the block must be read from memory first.
+  const uint32_t resident =
+      static_cast<uint32_t>(llc_.ucls_of_block(block, /*dirty_only=*/false).size());
+  const uint32_t missing = kBlockLines - std::min<uint32_t>(resident + 1, kBlockLines);
+  if (missing > 0) dram_read(now, block, missing * kCachelineBytes, true);
+  const CompressOutcome out = compress_block_values(block);
+  if (out.lines > 0) {
+    stats_.add("evict_fetch_recompress");
+    dram_write(now, block, out.lines * kCachelineBytes, true);
+    meta.method = out.method;
+    meta.bias = out.bias;
+    meta.size_lines = static_cast<uint8_t>(out.lines);
+    meta.failed = 0;
+    meta.skipped = 0;
+    meta.lazy_count = 0;
+    cmt_.clear_lazy_lines(block);
+    // Other dirty UCLs of the block were folded into the written image.
+    for (uint64_t l : llc_.ucls_of_block(block, /*dirty_only=*/true))
+      llc_.ucl_mark_clean(l);
+  } else {
+    stats_.add("evict_uncompressed_wb");
+    dram_write(now, line, kCachelineBytes, true);
+    meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
+    meta.skipped = 0;
+  }
+}
+
+void AvrSystem::handle_cms_block_evict(uint64_t now, uint64_t block, bool dirty,
+                                       int depth) {
+  stats_.add("cms_block_evictions");
+  if (!dirty) return;  // memory still holds a valid compressed image
+
+  // Decompress on chip, overlay the block's dirty UCLs, recompress, write
+  // back to memory (Sec. 3.5). Backing values are already current.
+  stats_.add("decompressions");
+  BlockMeta& meta = cmt_.lookup(block);
+  const CompressOutcome out = compress_block_values(block);
+  if (out.lines > 0) {
+    dram_write(now, block, out.lines * kCachelineBytes, true);
+    meta.method = out.method;
+    meta.bias = out.bias;
+    meta.size_lines = static_cast<uint8_t>(out.lines);
+    meta.failed = 0;
+    meta.skipped = 0;
+  } else {
+    dram_write(now, block, kBlockBytes, true);
+    meta.method = Method::kUncompressed;
+    meta.size_lines = 0;
+    meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
+  }
+  meta.lazy_count = 0;
+  cmt_.clear_lazy_lines(block);
+  for (uint64_t l : llc_.ucls_of_block(block, /*dirty_only=*/true))
+    llc_.ucl_mark_clean(l);
+  (void)depth;
+}
+
+// ---------------------------------------------------------------------------
+
+void AvrSystem::run_pfe(uint64_t now, int depth) {
+  if (!dbuf_.valid()) return;
+  if (!cfg_.avr.enable_pfe) return;
+  if (dbuf_.requested_count() < cfg_.avr.pfe_threshold) return;
+  stats_.add("pfe_promotions");
+  const uint64_t block = dbuf_.block();
+  std::vector<LlcVictim> victims;
+  for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
+    const uint64_t line = block + cl * kCachelineBytes;
+    if (dbuf_.line_in_llc(line) || llc_.ucl_present(line)) continue;
+    llc_.ucl_insert(line, /*dirty=*/false, victims);
+    stats_.add("pfe_lines");
+  }
+  process_victims(now, victims, depth + 1);
+}
+
+void AvrSystem::drain(uint64_t now) {
+  dbuf_.invalidate();
+  // First write back dirty compressed images (this also folds in and cleans
+  // their dirty UCLs), then the remaining dirty UCLs.
+  for (const LlcVictim& v : llc_.all_resident())
+    if (v.kind == LlcVictim::kCmsBlock && v.dirty) {
+      handle_cms_block_evict(now, v.addr, true, 0);
+      llc_.cms_remove(v.addr);
+    }
+  for (const LlcVictim& v : llc_.all_resident())
+    if (v.kind == LlcVictim::kUcl && v.dirty) {
+      handle_dirty_ucl(now, v.addr, kMaxDepth);  // no LLC re-insertions
+      llc_.ucl_mark_clean(v.addr);
+    }
+}
+
+}  // namespace avr

@@ -1,0 +1,97 @@
+// The AVR LLC+memory subsystem: glues together the decoupled LLC, the
+// compressor/decompressor, the CMT, the DBUF/PFE and the DRAM model, and
+// implements the request flow of Fig. 7 and the eviction flow of Fig. 8.
+//
+// Functional semantics: compression events run the real construction /
+// reconstruction on the workload's backing store (RegionRegistry), so
+// application output error emerges from the data path exactly as in the
+// paper's methodology. One modeling simplification: a recompression reads
+// the *current* backing values for all lines of the block, which folds in
+// stores that architecturally still sit dirty in L1/L2; this slightly lowers
+// the number of approximation round-trips a value experiences and is
+// documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avr/avr_llc.hh"
+#include "avr/cmt.hh"
+#include "avr/compressor.hh"
+#include "avr/dbuf.hh"
+#include "common/config.hh"
+#include "mem/llc_system.hh"
+#include "runtime/region.hh"
+
+namespace avr {
+
+class AvrSystem : public LlcSystem {
+ public:
+  AvrSystem(const SimConfig& cfg, RegionRegistry& regions);
+
+  uint64_t request(uint64_t now, uint64_t line, bool write) override;
+  void writeback(uint64_t now, uint64_t line) override;
+  void drain(uint64_t now) override;
+  bool last_was_miss() const override { return last_was_miss_; }
+
+  const StatGroup& stats() const override { return stats_; }
+  Dram& dram() override { return dram_; }
+  const Dram& dram() const override { return dram_; }
+
+  const Cmt& cmt() const { return cmt_; }
+  Cmt& cmt() { return cmt_; }
+  const AvrLlc& llc() const { return llc_; }
+  const Compressor& compressor() const { return compressor_; }
+
+  /// Compression ratio achieved over all approx blocks ever compressed:
+  /// 16 / (mean compressed size in lines), as reported in Table 4.
+  double mean_compression_ratio() const;
+
+ private:
+  bool approx(uint64_t addr) const { return regions_.is_approx(addr); }
+  DType dtype_of(uint64_t addr) const;
+
+  uint64_t dram_read(uint64_t now, uint64_t addr, uint32_t bytes, bool is_approx);
+  void dram_write(uint64_t now, uint64_t addr, uint32_t bytes, bool is_approx);
+
+  struct CompressOutcome {
+    uint32_t lines = 0;  // 0 = compression failed
+    Method method = Method::kUncompressed;
+    int8_t bias = 0;
+  };
+  /// Runs the compressor on the block's current backing values. On success
+  /// applies the reconstruction to the backing store (the functional effect
+  /// of the block now living in compressed form) and returns the compressed
+  /// size/method/bias; lines == 0 on failure. Counts compressor events.
+  CompressOutcome compress_block_values(uint64_t block);
+
+  /// Fig. 8, dirty-UCL branch.
+  void handle_dirty_ucl(uint64_t now, uint64_t line, int depth);
+  /// Fig. 8, dirty-CMS branch: the whole compressed block leaves the LLC.
+  void handle_cms_block_evict(uint64_t now, uint64_t block, bool dirty, int depth);
+  void process_victims(uint64_t now, std::vector<LlcVictim>& victims, int depth);
+
+  /// PFE decision when the DBUF is about to be displaced (Sec. 3.3).
+  void run_pfe(uint64_t now, int depth);
+
+  /// Failure-history gate (Sec. 3.5): true if this attempt must be skipped.
+  bool should_skip_attempt(BlockMeta& meta);
+
+  SimConfig cfg_;
+  RegionRegistry& regions_;
+  Dram dram_;
+  AvrLlc llc_;
+  Cmt cmt_;
+  Compressor compressor_;
+  Dbuf dbuf_;
+  StatGroup stats_{"avr_system"};
+  bool last_was_miss_ = false;
+
+  // Running tally for Table 4: sum of compressed sizes and #compressions.
+  uint64_t compressed_lines_sum_ = 0;
+  uint64_t compressed_blocks_ = 0;
+
+  static constexpr int kMaxDepth = 4;
+};
+
+}  // namespace avr

@@ -1,0 +1,41 @@
+#include "avr/bias.hh"
+
+#include <algorithm>
+
+#include "common/fp_bits.hh"
+
+namespace avr {
+
+int8_t choose_bias(std::span<const float, kValuesPerBlock> vals) {
+  int e_max = -1;
+  int e_min = 256;
+  for (float v : vals) {
+    const uint32_t e = f32_exponent(v);
+    if (e == kExponentMask) return 0;  // NaN/Inf present: skip biasing
+    if (e == 0) continue;              // zero/denormal: unaffected by bias
+    e_max = std::max(e_max, static_cast<int>(e));
+    e_min = std::min(e_min, static_cast<int>(e));
+  }
+  if (e_max < 0) return 0;  // all zero/denormal
+
+  int bias = kBiasTargetExponent - e_max;
+  // Clamp so no value's exponent over- or underflows (paper rule b); if the
+  // block's dynamic range makes that impossible the small values flush to
+  // zero in fixed point and surface as outliers instead.
+  bias = std::min(bias, 254 - e_max);
+  bias = std::max(bias, 1 - e_min);
+  if (e_max + bias > 254 || e_min + bias < 1) return 0;
+  return static_cast<int8_t>(std::clamp(bias, -128, 127));
+}
+
+void apply_bias(std::span<float, kValuesPerBlock> vals, int8_t bias) {
+  if (bias == 0) return;
+  for (float& v : vals) v = f32_scale_exponent(v, bias);
+}
+
+float unbias_value(float v, int8_t bias) {
+  if (bias == 0) return v;
+  return f32_scale_exponent(v, -bias);
+}
+
+}  // namespace avr

@@ -1,0 +1,63 @@
+#include "avr/cmt.hh"
+
+#include <cassert>
+
+namespace avr {
+
+uint32_t BlockMeta::pack() const {
+  const uint32_t size_field = size_lines == 0 ? 0 : (size_lines - 1) & 0x7;
+  return (static_cast<uint32_t>(method) & 0x3) | (size_field << 2) |
+         ((lazy_count & 0xF) << 5) |
+         ((static_cast<uint32_t>(static_cast<uint8_t>(bias))) << 9) |
+         ((failed & 0xF) << 17) | ((skipped & 0x3) << 21);
+}
+
+BlockMeta BlockMeta::unpack(uint32_t bits) {
+  BlockMeta m;
+  m.method = static_cast<Method>(bits & 0x3);
+  const uint32_t size_field = (bits >> 2) & 0x7;
+  m.size_lines = m.method == Method::kUncompressed ? 0 : size_field + 1;
+  m.lazy_count = (bits >> 5) & 0xF;
+  m.bias = static_cast<int8_t>((bits >> 9) & 0xFF);
+  m.failed = (bits >> 17) & 0xF;
+  m.skipped = (bits >> 21) & 0x3;
+  return m;
+}
+
+Cmt::Cmt(uint32_t cached_pages)
+    : cache_("cmt_cache", uint64_t{cached_pages} * kPageBytes, 4, kPageBytes) {}
+
+BlockMeta& Cmt::lookup(uint64_t addr) {
+  const uint64_t page = page_addr(addr);
+  stats_.add("lookups");
+  if (!cache_.access(page, /*write=*/false)) {
+    // TLB/CMT miss: fetch the page's 4 entries (4 x 23 bits ~ 12 B) and
+    // write back the victim's entries if dirty. We charge 12 B each way.
+    const Eviction ev = cache_.fill(page, /*dirty=*/false);
+    stats_.add("misses");
+    stats_.add("metadata_bytes", 12);
+    if (ev.valid && ev.dirty) stats_.add("metadata_bytes", 12);
+  }
+  // Any lookup may update the entry; mark the cached page dirty. This is
+  // conservative (extra writeback traffic is a few bytes per miss).
+  cache_.mark_dirty(page);
+  return table_[block_addr(addr)];
+}
+
+const BlockMeta* Cmt::peek(uint64_t addr) const {
+  auto it = table_.find(block_addr(addr));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void Cmt::add_lazy_line(uint64_t block, uint32_t line_idx) {
+  assert(line_idx < kBlockLines);
+  lazy_[block_addr(block)].push_back(static_cast<uint8_t>(line_idx));
+}
+
+const std::vector<uint8_t>& Cmt::lazy_lines(uint64_t block) {
+  return lazy_[block_addr(block)];
+}
+
+void Cmt::clear_lazy_lines(uint64_t block) { lazy_[block_addr(block)].clear(); }
+
+}  // namespace avr

@@ -1,0 +1,50 @@
+// In-memory representation of an AVR compressed memory block (Fig. 2a).
+//
+// Layout in the 1 KB memory block:
+//   line 0          : block summary (16 sub-block averages)
+//   line 1 (half)   : outlier bitmap (256 bits), present iff outliers exist
+//   line 1.5 ..     : outliers, packed in block order
+//   tail            : free space for lazily-evicted uncompressed cachelines
+//
+// The summary is kept in the biased fixed-point domain; `bias` and `method`
+// travel in the CMT entry (Fig. 3) but are duplicated here for convenience.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hh"
+#include "common/types.hh"
+
+namespace avr {
+
+inline constexpr uint32_t kSummaryValues = 16;  // 16:1 target over 256 values
+inline constexpr uint32_t kBitmapBytes = Bitmap256::kBits / 8;  // 32 B = half a line
+
+struct CompressedBlock {
+  Method method = Method::kUncompressed;
+  DType dtype = DType::kFloat32;
+  int8_t bias = 0;  // exponent bias applied before fixed-point conversion
+  std::array<int32_t, kSummaryValues> summary{};  // Q16.16 raw, biased domain
+  Bitmap256 outlier_map;
+  std::vector<uint32_t> outliers;  // raw 32-bit images of outlier values
+
+  /// Number of 64 B cachelines the compressed image occupies (Sec. 3.1):
+  /// summary alone is 1 line; with outliers add the half-line bitmap plus
+  /// 4 B per outlier, rounded up to whole lines.
+  uint32_t lines() const {
+    if (outliers.empty()) return 1;
+    const uint64_t payload = kBitmapBytes + 4 * outliers.size();
+    return 1 + static_cast<uint32_t>((payload + kCachelineBytes - 1) / kCachelineBytes);
+  }
+
+  bool compressed() const { return method != Method::kUncompressed; }
+
+  /// Largest outlier count that still fits the 8-line budget:
+  /// 7 lines * 64 B = 448 B minus the 32 B bitmap = 104 outliers.
+  static constexpr uint32_t kMaxOutliers =
+      (7 * kCachelineBytes - kBitmapBytes) / 4;
+};
+
+}  // namespace avr

@@ -1,0 +1,157 @@
+#include "avr/compressor.hh"
+
+#include <array>
+#include <cmath>
+
+#include "avr/bias.hh"
+#include "avr/downsample.hh"
+#include "common/fp_bits.hh"
+
+namespace avr {
+namespace {
+
+/// Reconstructed float for position i given the fixed-domain interpolation
+/// result, undoing the bias (decompressor right half of Fig. 4).
+float to_float_domain(Fixed32 fx, int8_t bias, DType dtype) {
+  if (dtype == DType::kFixed32) return std::bit_cast<float>(fx.raw());
+  return unbias_value(fx.to_float(), bias);
+}
+
+uint32_t raw_bits_of(float original, DType dtype) {
+  if (dtype == DType::kFixed32) return std::bit_cast<uint32_t>(original);
+  return f32_bits(original);
+}
+
+}  // namespace
+
+bool Compressor::value_is_outlier(float original, float approx) const {
+  const uint32_t n = cfg_.t1_mantissa_msbit;
+  if (f32_bits(original) == f32_bits(approx)) return false;
+  if (!f32_is_finite(original)) return true;  // NaN/Inf always stored exactly
+  if (f32_sign(original) != f32_sign(approx)) return true;
+  if (f32_exponent(original) != f32_exponent(approx)) return true;
+  const int32_t dm = static_cast<int32_t>(f32_mantissa(original)) -
+                     static_cast<int32_t>(f32_mantissa(approx));
+  const uint32_t limit = 1u << (kMantissaBits - n);
+  return static_cast<uint32_t>(dm < 0 ? -dm : dm) >= limit;
+}
+
+std::optional<CompressionAttempt> Compressor::try_method(
+    Method m, std::span<const float, kValuesPerBlock> original,
+    std::span<const Fixed32, kValuesPerBlock> fixed, int8_t bias,
+    DType dtype) const {
+  CompressionAttempt att;
+  att.block.method = m;
+  att.block.bias = bias;
+  att.block.dtype = dtype;
+
+  std::array<Fixed32, kSummaryValues> avg =
+      m == Method::kDownsample2D
+          ? downsample::compress_2d(fixed)
+          : downsample::compress_1d(fixed);
+  for (uint32_t k = 0; k < kSummaryValues; ++k) att.block.summary[k] = avg[k].raw();
+
+  std::array<Fixed32, kValuesPerBlock> recon;
+  if (m == Method::kDownsample2D)
+    downsample::reconstruct_2d(avg, recon);
+  else
+    downsample::reconstruct_1d(avg, recon);
+
+  // Error check + outlier selection (Sec. 3.3). The mantissa subtraction of
+  // non-outliers accumulates into the block-average error.
+  double err_sum = 0.0;
+  uint32_t non_outliers = 0;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+    const float approx = to_float_domain(recon[i], bias, dtype);
+    bool outlier;
+    if (dtype == DType::kFixed32) {
+      // Fixed point: relative error via subtraction and compare (footnote 1).
+      const double o = fixed[i].to_double();
+      const double a = Fixed32::from_raw(recon[i].raw()).to_double();
+      outlier = relative_error(a, o) >= t1();
+    } else {
+      outlier = value_is_outlier(original[i], approx);
+    }
+    if (outlier) {
+      att.block.outlier_map.set(i);
+      att.block.outliers.push_back(raw_bits_of(original[i], dtype));
+      if (att.block.outliers.size() > CompressedBlock::kMaxOutliers)
+        return std::nullopt;  // cannot fit in 8 lines
+    } else {
+      if (dtype == DType::kFixed32) {
+        err_sum += relative_error(Fixed32::from_raw(recon[i].raw()).to_double(),
+                                  fixed[i].to_double());
+      } else {
+        const int32_t dm = static_cast<int32_t>(f32_mantissa(original[i])) -
+                           static_cast<int32_t>(f32_mantissa(approx));
+        err_sum += static_cast<double>(dm < 0 ? -dm : dm) /
+                   static_cast<double>(1u << kMantissaBits);
+      }
+      ++non_outliers;
+    }
+  }
+
+  att.avg_error = non_outliers ? err_sum / non_outliers : 0.0;
+  if (att.avg_error > t2()) return std::nullopt;
+  if (att.block.lines() > kMaxCompressedLines) return std::nullopt;
+  return att;
+}
+
+std::optional<CompressionAttempt> Compressor::compress(
+    std::span<const float, kValuesPerBlock> vals, DType dtype) const {
+  int8_t bias = 0;
+  std::array<float, kValuesPerBlock> biased;
+  std::array<Fixed32, kValuesPerBlock> fixed;
+
+  if (dtype == DType::kFloat32) {
+    bias = choose_bias(vals);
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i) biased[i] = vals[i];
+    apply_bias(biased, bias);
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+      fixed[i] = f32_is_finite(biased[i]) ? Fixed32::from_float(biased[i])
+                                          : Fixed32::from_raw(0);
+  } else {
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+      fixed[i] = Fixed32::from_raw(std::bit_cast<int32_t>(vals[i]));
+  }
+
+  std::optional<CompressionAttempt> best;
+  auto consider = [&](Method m) {
+    auto att = try_method(m, vals, fixed, bias, dtype);
+    if (!att) return;
+    if (!best || att->block.lines() < best->block.lines() ||
+        (att->block.lines() == best->block.lines() &&
+         att->block.outliers.size() < best->block.outliers.size()))
+      best = std::move(att);
+  };
+  // 2D first: on ties it wins, matching the hardware's preference for the
+  // variant that captures spatial locality.
+  if (cfg_.enable_2d) consider(Method::kDownsample2D);
+  if (cfg_.enable_1d) consider(Method::kDownsample1D);
+  return best;
+}
+
+void Compressor::reconstruct(const CompressedBlock& cb,
+                             std::span<float, kValuesPerBlock> out) const {
+  std::array<Fixed32, kSummaryValues> avg;
+  for (uint32_t k = 0; k < kSummaryValues; ++k) avg[k] = Fixed32::from_raw(cb.summary[k]);
+
+  std::array<Fixed32, kValuesPerBlock> recon;
+  if (cb.method == Method::kDownsample2D)
+    downsample::reconstruct_2d(avg, recon);
+  else
+    downsample::reconstruct_1d(avg, recon);
+
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    out[i] = to_float_domain(recon[i], cb.bias, cb.dtype);
+
+  // Overlay the exactly-stored outliers per the bitmap (DBUF fill, Fig. 4).
+  uint32_t oi = 0;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+    if (!cb.outlier_map.test(i)) continue;
+    const uint32_t bits = cb.outliers[oi++];
+    out[i] = cb.dtype == DType::kFixed32 ? std::bit_cast<float>(bits) : bits_f32(bits);
+  }
+}
+
+}  // namespace avr

@@ -1,0 +1,62 @@
+// The AVR compressor / decompressor module (Sec. 3.3, Fig. 4).
+//
+// compress():  bias exponents -> float-to-fixed -> downsample (1D and 2D
+//              variants in parallel) -> reconstruct -> error check ->
+//              outlier selection -> pick the best passing variant.
+// reconstruct(): summary -> fixed-point interpolation -> fixed-to-float ->
+//              unbias -> overlay outliers per the bitmap.
+//
+// The class is a pure function of its inputs (no architectural state), so
+// the LLC-side machinery can reuse one instance everywhere.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "avr/compressed_block.hh"
+#include "common/config.hh"
+#include "common/fixed_point.hh"
+
+namespace avr {
+
+struct CompressionAttempt {
+  CompressedBlock block;
+  double avg_error = 0.0;  // mean mantissa-relative error of non-outliers
+};
+
+class Compressor {
+ public:
+  explicit Compressor(const AvrConfig& cfg) : cfg_(cfg) {}
+
+  /// Tries to compress a block of 256 values. Returns std::nullopt when no
+  /// enabled variant meets the T1/T2 thresholds within 8 lines
+  /// (the block then stays uncompressed, Fig. 2b).
+  std::optional<CompressionAttempt> compress(
+      std::span<const float, kValuesPerBlock> vals,
+      DType dtype = DType::kFloat32) const;
+
+  /// Reconstructs the approximate block values: interpolated summary with
+  /// outliers overlaid exactly.
+  void reconstruct(const CompressedBlock& cb,
+                   std::span<float, kValuesPerBlock> out) const;
+
+  /// Per-value outlier test of Sec. 3.3: sign and exponent must match and
+  /// the mantissa difference must stay below the N-th most significant
+  /// mantissa bit (error < 1/2^N). Exposed for tests.
+  bool value_is_outlier(float original, float approx) const;
+
+  /// The individual-value threshold T1 = 1/2^N as a fraction.
+  double t1() const { return 1.0 / static_cast<double>(1u << cfg_.t1_mantissa_msbit); }
+  /// Block-average threshold T2 = T1/2 (paper: T1 = 2*T2).
+  double t2() const { return t1() / 2.0; }
+
+ private:
+  std::optional<CompressionAttempt> try_method(
+      Method m, std::span<const float, kValuesPerBlock> original,
+      std::span<const Fixed32, kValuesPerBlock> fixed, int8_t bias,
+      DType dtype) const;
+
+  AvrConfig cfg_;
+};
+
+}  // namespace avr

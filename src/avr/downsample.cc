@@ -1,0 +1,78 @@
+#include "avr/downsample.hh"
+
+namespace avr::downsample {
+namespace {
+
+/// Index and weight of the left neighbour for a sample at integer position
+/// `pos` among `n` averages whose centers sit at stride*k + (stride-1)/2.
+/// Weights are expressed in 2*stride-ths so everything stays integral:
+///   w2s = 2*(pos - stride*k) - (stride - 1), in [0, 2*stride).
+struct Lerp {
+  uint32_t left;
+  int w_num;  // weight of the *right* neighbour, denominator 2*stride
+};
+
+constexpr Lerp locate(uint32_t pos, uint32_t stride, uint32_t n) {
+  const int two_pos = 2 * static_cast<int>(pos);
+  const int offset = static_cast<int>(stride) - 1;  // 2*center_0 = offset
+  if (two_pos <= offset) return {0, 0};             // before first center
+  const uint32_t k = static_cast<uint32_t>((two_pos - offset) / (2 * static_cast<int>(stride)));
+  if (k >= n - 1) return {n - 1, 0};                // after last center
+  const int w = (two_pos - offset) - 2 * static_cast<int>(stride) * static_cast<int>(k);
+  return {k, w};
+}
+
+}  // namespace
+
+std::array<Fixed32, 16> compress_1d(std::span<const Fixed32, kValuesPerBlock> in) {
+  std::array<Fixed32, 16> out;
+  for (uint32_t k = 0; k < 16; ++k)
+    out[k] = Fixed32::average(in.begin() + k * kSubBlock1D,
+                              in.begin() + (k + 1) * kSubBlock1D);
+  return out;
+}
+
+std::array<Fixed32, 16> compress_2d(std::span<const Fixed32, kValuesPerBlock> in) {
+  std::array<Fixed32, 16> out;
+  for (uint32_t tr = 0; tr < kGrid2D / kTile2D; ++tr)
+    for (uint32_t tc = 0; tc < kGrid2D / kTile2D; ++tc) {
+      int64_t acc = 0;
+      for (uint32_t r = 0; r < kTile2D; ++r)
+        for (uint32_t c = 0; c < kTile2D; ++c)
+          acc += in[(tr * kTile2D + r) * kGrid2D + tc * kTile2D + c].raw();
+      // Round-to-nearest over the 16 tile values.
+      const int64_t q = acc >= 0 ? (acc + 8) / 16 : -((-acc + 8) / 16);
+      out[tr * 4 + tc] = Fixed32::from_raw(static_cast<int32_t>(q));
+    }
+  return out;
+}
+
+void reconstruct_1d(const std::array<Fixed32, 16>& avg,
+                    std::span<Fixed32, kValuesPerBlock> out) {
+  constexpr int kDen = 2 * kSubBlock1D;  // 32
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+    const Lerp l = locate(i, kSubBlock1D, 16);
+    const uint32_t r = l.left + 1 < 16 ? l.left + 1 : l.left;
+    out[i] = Fixed32::lerp(avg[l.left], avg[r], l.w_num, kDen);
+  }
+}
+
+void reconstruct_2d(const std::array<Fixed32, 16>& avg,
+                    std::span<Fixed32, kValuesPerBlock> out) {
+  constexpr int kDen = 2 * kTile2D;  // 8
+  for (uint32_t r = 0; r < kGrid2D; ++r) {
+    const Lerp lr = locate(r, kTile2D, 4);
+    const uint32_t r1 = lr.left + 1 < 4 ? lr.left + 1 : lr.left;
+    for (uint32_t c = 0; c < kGrid2D; ++c) {
+      const Lerp lc = locate(c, kTile2D, 4);
+      const uint32_t c1 = lc.left + 1 < 4 ? lc.left + 1 : lc.left;
+      const Fixed32 top =
+          Fixed32::lerp(avg[lr.left * 4 + lc.left], avg[lr.left * 4 + c1], lc.w_num, kDen);
+      const Fixed32 bot =
+          Fixed32::lerp(avg[r1 * 4 + lc.left], avg[r1 * 4 + c1], lc.w_num, kDen);
+      out[r * kGrid2D + c] = Fixed32::lerp(top, bot, lr.w_num, kDen);
+    }
+  }
+}
+
+}  // namespace avr::downsample

@@ -1,0 +1,40 @@
+// Fixed-point downsampling and interpolating reconstruction (Sec. 3.3,
+// Fig. 5). Two placement variants are implemented, matching the paper:
+//   1D: the block is a 256-entry linear array; sub-blocks are 16 consecutive
+//       values; reconstruction is linear interpolation between averages.
+//   2D: the block is a 16x16 square; sub-blocks are 4x4 tiles; reconstruction
+//       is bi-linear interpolation between tile averages.
+// All arithmetic is Q16.16 with small integer interpolation weights, i.e.
+// what the synthesized datapath computes.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/fixed_point.hh"
+#include "common/types.hh"
+
+namespace avr::downsample {
+
+inline constexpr uint32_t kSubBlock1D = 16;      // values per 1D sub-block
+inline constexpr uint32_t kGrid2D = 16;          // block is 16x16
+inline constexpr uint32_t kTile2D = 4;           // 4x4 tiles -> 4x4 averages
+
+/// 256 fixed values -> 16 averages, linear placement.
+std::array<Fixed32, 16> compress_1d(std::span<const Fixed32, kValuesPerBlock> in);
+
+/// 256 fixed values -> 16 averages, 4x4 tiles of the 16x16 square
+/// (averages stored row-major: index = tile_row * 4 + tile_col).
+std::array<Fixed32, 16> compress_2d(std::span<const Fixed32, kValuesPerBlock> in);
+
+/// Inverse of compress_1d: distribute averages at sub-block centers and
+/// linearly interpolate; positions before the first / after the last center
+/// clamp to the nearest average.
+void reconstruct_1d(const std::array<Fixed32, 16>& avg,
+                    std::span<Fixed32, kValuesPerBlock> out);
+
+/// Inverse of compress_2d with bi-linear interpolation and edge clamping.
+void reconstruct_2d(const std::array<Fixed32, 16>& avg,
+                    std::span<Fixed32, kValuesPerBlock> out);
+
+}  // namespace avr::downsample

@@ -1,0 +1,40 @@
+#include "baselines/baseline_system.hh"
+
+namespace avr {
+
+uint64_t BaselineSystem::request(uint64_t now, uint64_t line, bool write) {
+  line = line_addr(line);
+  stats_.add("requests");
+  last_was_miss_ = false;
+  if (llc_.access(line, write)) return cfg_.llc.latency;
+
+  last_was_miss_ = true;
+  const uint64_t lat = dram_.read(now, line, kCachelineBytes);
+  count_traffic(line, kCachelineBytes);
+  const Eviction ev = llc_.fill(line, write);
+  if (ev.valid && ev.dirty) {
+    dram_.write(now, ev.addr, kCachelineBytes);
+    count_traffic(ev.addr, kCachelineBytes);
+  }
+  return lat + cfg_.llc.latency;
+}
+
+void BaselineSystem::writeback(uint64_t now, uint64_t line) {
+  line = line_addr(line);
+  if (llc_.mark_dirty(line)) return;
+  const Eviction ev = llc_.fill(line, /*dirty=*/true);
+  if (ev.valid && ev.dirty) {
+    dram_.write(now, ev.addr, kCachelineBytes);
+    count_traffic(ev.addr, kCachelineBytes);
+  }
+}
+
+void BaselineSystem::drain(uint64_t now) {
+  for (const auto& [addr, dirty] : llc_.valid_lines())
+    if (dirty) {
+      dram_.write(now, addr, kCachelineBytes);
+      count_traffic(addr, kCachelineBytes);
+    }
+}
+
+}  // namespace avr

@@ -1,0 +1,45 @@
+// Baseline shared LLC: a conventional set-associative write-back cache in
+// front of DRAM. All the Sec. 4 results are normalized to this design.
+#pragma once
+
+#include "cache/set_assoc_cache.hh"
+#include "common/config.hh"
+#include "mem/llc_system.hh"
+#include "runtime/region.hh"
+
+namespace avr {
+
+class BaselineSystem : public LlcSystem {
+ public:
+  BaselineSystem(const SimConfig& cfg, RegionRegistry& regions)
+      : cfg_(cfg),
+        regions_(regions),
+        dram_(cfg.dram),
+        llc_("baseline_llc", cfg.llc.size_bytes, cfg.llc.ways) {}
+
+  uint64_t request(uint64_t now, uint64_t line, bool write) override;
+  void writeback(uint64_t now, uint64_t line) override;
+  void drain(uint64_t now) override;
+  bool last_was_miss() const override { return last_was_miss_; }
+
+  const StatGroup& stats() const override { return stats_; }
+  Dram& dram() override { return dram_; }
+  const Dram& dram() const override { return dram_; }
+
+ protected:
+  /// Traffic split for Fig. 11 (approx vs other bytes).
+  void count_traffic(uint64_t line, uint32_t bytes) {
+    stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
+                                        : "traffic_other_bytes",
+               bytes);
+  }
+
+  SimConfig cfg_;
+  RegionRegistry& regions_;
+  Dram dram_;
+  SetAssocCache llc_;
+  StatGroup stats_{"baseline_system"};
+  bool last_was_miss_ = false;
+};
+
+}  // namespace avr

@@ -1,0 +1,280 @@
+#include "baselines/doppelganger_system.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace avr {
+
+DoppelgangerSystem::DoppelgangerSystem(const SimConfig& cfg, RegionRegistry& regions)
+    : cfg_(cfg), regions_(regions), dram_(cfg.dram) {
+  const uint64_t data_entries = cfg.llc.size_bytes / kCachelineBytes;
+  const uint64_t tag_entries = data_entries * cfg.dg_tag_factor;
+  tag_ways_ = cfg.llc.ways;
+  const uint64_t sets = tag_entries / tag_ways_;
+  if (!std::has_single_bit(sets)) throw std::invalid_argument("dg tag sets not pow2");
+  tag_sets_ = static_cast<uint32_t>(sets);
+  tags_.resize(tag_entries);
+  data_.resize(data_entries);
+  free_data_.reserve(data_entries);
+  for (uint32_t i = 0; i < data_entries; ++i)
+    free_data_.push_back(static_cast<uint32_t>(data_entries - 1 - i));
+}
+
+DoppelgangerSystem::TagEntry* DoppelgangerSystem::find_tag(uint64_t line) {
+  TagEntry* base = &tags_[tag_set_of(line) * tag_ways_];
+  for (uint32_t w = 0; w < tag_ways_; ++w)
+    if (base[w].valid && base[w].line == line) return &base[w];
+  return nullptr;
+}
+
+uint64_t DoppelgangerSystem::map_key(uint64_t line) {
+  const MemoryRegion* r = regions_.find(line);
+  assert(r && r->approx);
+  float lo = 0, hi = 0, sum = 0;
+  for (uint32_t i = 0; i < kValuesPerLine; ++i) {
+    const float v = regions_.load<float>(line + i * sizeof(float));
+    const float f = std::isfinite(v) ? v : 0.0f;
+    if (i == 0) lo = hi = f;
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+    sum += f;
+  }
+  const float avg = sum / kValuesPerLine;
+
+  Span& span = spans_[r->base];
+  if (!span.init) {
+    span = {lo, hi, true};
+  } else {
+    span.lo = std::min(span.lo, lo);
+    span.hi = std::max(span.hi, hi);
+  }
+  const double width = std::max<double>(span.hi - span.lo, 1e-12);
+  const auto clampq = [](double q, uint32_t buckets) {
+    return static_cast<uint64_t>(
+        std::clamp<double>(q, 0.0, static_cast<double>(buckets - 1)));
+  };
+  const uint64_t q_avg =
+      clampq(std::floor((avg - span.lo) / width * cfg_.dg_avg_buckets),
+             cfg_.dg_avg_buckets);
+  const uint64_t q_rng =
+      clampq(std::floor((hi - lo) / width * cfg_.dg_range_buckets),
+             cfg_.dg_range_buckets);
+  // Per-value 2-bit shape signature (each value quantized within the line's
+  // own [lo, hi] span): two lines dedup only when their internal shapes
+  // agree, not merely their average. Lines at the extremes of the region
+  // span still alias (q_avg saturates at the edge buckets), which is the
+  // edge-case artefact the paper observes.
+  uint64_t shape = 0;
+  const float lw = std::max(hi - lo, 1e-12f);
+  for (uint32_t i = 0; i < kValuesPerLine; ++i) {
+    const float v = regions_.load<float>(line + i * sizeof(float));
+    const float f = std::isfinite(v) ? v : 0.0f;
+    const uint32_t q = static_cast<uint32_t>(
+        std::clamp((f - lo) / lw * 4.0f, 0.0f, 3.0f));
+    shape = (shape << 2) | q;
+  }
+  // Edge-case artefact (called out in Sec. 4.3): lines sitting at the
+  // extreme edges of the region's expected value span saturate the average
+  // quantizer, so their shape no longer disambiguates them — lines with very
+  // different contents alias onto one map entry. This is what produces
+  // Doppelganger's runaway error on orbit-like data.
+  if (q_avg == 0 || q_avg == cfg_.dg_avg_buckets - 1) shape = 0;
+  // Keys are namespaced by region so unrelated structures never collide.
+  const uint64_t quant = (q_avg << 8) | q_rng;
+  return (r->base << 20) ^ (quant << 32) ^ shape;
+}
+
+uint32_t DoppelgangerSystem::alloc_data_entry(uint64_t now, uint64_t key) {
+  if (free_data_.empty()) {
+    // Evict the LRU data entry (and every tag that shares it).
+    uint32_t victim = 0;
+    bool found = false;
+    for (uint32_t i = 0; i < data_.size(); ++i)
+      if (data_[i].valid && (!found || data_[i].lru < data_[victim].lru)) {
+        victim = i;
+        found = true;
+      }
+    assert(found);
+    evict_data_entry(now, victim);
+  }
+  const uint32_t idx = free_data_.back();
+  free_data_.pop_back();
+  DataEntry& d = data_[idx];
+  d.valid = true;
+  d.key = key;
+  d.lru = ++lru_clock_;
+  d.sharers.clear();
+  if (key) by_key_[key] = idx;
+  return idx;
+}
+
+void DoppelgangerSystem::evict_data_entry(uint64_t now, uint32_t idx) {
+  DataEntry& d = data_[idx];
+  // Invalidate all sharers; dirty ones write back their (representative)
+  // contents.
+  for (uint64_t line : std::vector<uint64_t>(d.sharers)) {
+    TagEntry* t = find_tag(line);
+    if (!t) continue;
+    if (t->dirty) {
+      dram_.write(now, line, kCachelineBytes);
+      stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
+                                          : "traffic_other_bytes",
+                 kCachelineBytes);
+    }
+    t->valid = false;
+  }
+  by_key_.erase(d.key);
+  d.valid = false;
+  d.sharers.clear();
+  free_data_.push_back(idx);
+  stats_.add("data_evictions");
+}
+
+void DoppelgangerSystem::detach_tag(uint64_t now, TagEntry& t, bool write_back) {
+  DataEntry& d = data_[t.data_idx];
+  auto it = std::find(d.sharers.begin(), d.sharers.end(), t.line);
+  if (it != d.sharers.end()) d.sharers.erase(it);
+  if (t.dirty && write_back) {
+    dram_.write(now, t.line, kCachelineBytes);
+    stats_.add(regions_.is_approx(t.line) ? "traffic_approx_bytes"
+                                          : "traffic_other_bytes",
+               kCachelineBytes);
+  }
+  if (d.sharers.empty() && d.valid) {
+    by_key_.erase(d.key);
+    d.valid = false;
+    free_data_.push_back(t.data_idx);
+  }
+  t.valid = false;
+}
+
+void DoppelgangerSystem::unshare_for_write(uint64_t now, TagEntry& t) {
+  DataEntry& d = data_[t.data_idx];
+  if (d.sharers.size() <= 1) return;  // private already
+  // A written line diverges from its doppelganger: give it a private entry.
+  auto it = std::find(d.sharers.begin(), d.sharers.end(), t.line);
+  if (it != d.sharers.end()) d.sharers.erase(it);
+  const uint64_t line = t.line;
+  const uint32_t idx = alloc_data_entry(now, 0);
+  data_[idx].key = 0;
+  std::memcpy(data_[idx].repr.data(), regions_.host_ptr(line), kCachelineBytes);
+  data_[idx].sharers.push_back(line);
+  // alloc_data_entry may have evicted tags; re-find ours.
+  TagEntry* t2 = find_tag(line);
+  if (t2) t2->data_idx = idx;
+  stats_.add("unshares");
+}
+
+bool DoppelgangerSystem::install(uint64_t now, uint64_t line, bool dirty) {
+  // Tag allocation first (LRU within the 4x tag array set).
+  TagEntry* base = &tags_[tag_set_of(line) * tag_ways_];
+  TagEntry* victim = nullptr;
+  for (uint32_t w = 0; w < tag_ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (!victim || base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) detach_tag(now, *victim, /*write_back=*/true);
+
+  bool deduped = false;
+  uint32_t idx;
+  if (regions_.is_approx(line)) {
+    const uint64_t key = map_key(line);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end() && data_[it->second].valid) {
+      idx = it->second;
+      // The line adopts the representative's values: this is the
+      // approximation. Copy them into the backing store so the application
+      // observes them on every future read.
+      std::memcpy(regions_.host_ptr(line), data_[idx].repr.data(), kCachelineBytes);
+      deduped = true;
+      stats_.add("dedup_hits");
+    } else {
+      idx = alloc_data_entry(now, key);
+      std::memcpy(data_[idx].repr.data(), regions_.host_ptr(line), kCachelineBytes);
+    }
+  } else {
+    idx = alloc_data_entry(now, 0);
+    std::memcpy(data_[idx].repr.data(), regions_.host_ptr(line), kCachelineBytes);
+  }
+  data_[idx].sharers.push_back(line);
+  data_[idx].lru = ++lru_clock_;
+
+  // alloc/evict may have recycled our victim slot; find a free way again.
+  base = &tags_[tag_set_of(line) * tag_ways_];
+  victim = nullptr;
+  for (uint32_t w = 0; w < tag_ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (!victim || base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) detach_tag(now, *victim, /*write_back=*/true);
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->line = line;
+  victim->data_idx = idx;
+  victim->lru = ++lru_clock_;
+  return deduped;
+}
+
+uint64_t DoppelgangerSystem::request(uint64_t now, uint64_t line, bool write) {
+  line = line_addr(line);
+  stats_.add("requests");
+  last_was_miss_ = false;
+  if (TagEntry* t = find_tag(line)) {
+    t->lru = ++lru_clock_;
+    data_[t->data_idx].lru = lru_clock_;
+    if (write) {
+      unshare_for_write(now, *t);
+      if (TagEntry* t2 = find_tag(line)) t2->dirty = true;
+    }
+    stats_.add("hits");
+    return cfg_.llc.latency;
+  }
+  last_was_miss_ = true;
+  const uint64_t lat = dram_.read(now, line, kCachelineBytes);
+  stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
+                                      : "traffic_other_bytes",
+             kCachelineBytes);
+  install(now, line, write);
+  return lat + cfg_.llc.latency;
+}
+
+void DoppelgangerSystem::writeback(uint64_t now, uint64_t line) {
+  line = line_addr(line);
+  if (TagEntry* t = find_tag(line)) {
+    t->lru = ++lru_clock_;
+    unshare_for_write(now, *t);
+    if (TagEntry* t2 = find_tag(line)) t2->dirty = true;
+    return;
+  }
+  install(now, line, /*dirty=*/true);
+}
+
+void DoppelgangerSystem::drain(uint64_t now) {
+  for (TagEntry& t : tags_) {
+    if (!t.valid || !t.dirty) continue;
+    dram_.write(now, t.line, kCachelineBytes);
+    stats_.add(regions_.is_approx(t.line) ? "traffic_approx_bytes"
+                                          : "traffic_other_bytes",
+               kCachelineBytes);
+    t.dirty = false;
+  }
+}
+
+double DoppelgangerSystem::dedup_factor() const {
+  uint64_t tags = 0, entries = 0;
+  for (const TagEntry& t : tags_) tags += t.valid;
+  for (const DataEntry& d : data_) entries += d.valid;
+  return entries ? static_cast<double>(tags) / static_cast<double>(entries) : 1.0;
+}
+
+}  // namespace avr

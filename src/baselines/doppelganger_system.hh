@@ -1,0 +1,92 @@
+// Doppelganger (San Miguel et al., MICRO'15), the paper's closest related
+// design (Sec. 4.1): an LLC that deduplicates *similar* cachelines of
+// approximate data. Configured as in the paper: identical data-array
+// capacity to the other designs and a 4x larger tag array, so it can index
+// up to 4x more cachelines than it stores.
+//
+// Lines are mapped by an approximate hash (quantized average + quantized
+// range over the line's 16 floats, bucketed within the region's observed
+// value span). Lines whose hashes collide share one stored representative;
+// a read of a deduplicated line returns the representative's values, which
+// is where Doppelganger's approximation error comes from — including the
+// edge-case artefacts the paper observes on orbit/lbm/wrf where lines at
+// the extremes of the span are treated as equal despite very different
+// absolute values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/llc_system.hh"
+#include "runtime/region.hh"
+
+namespace avr {
+
+class DoppelgangerSystem : public LlcSystem {
+ public:
+  DoppelgangerSystem(const SimConfig& cfg, RegionRegistry& regions);
+
+  uint64_t request(uint64_t now, uint64_t line, bool write) override;
+  void writeback(uint64_t now, uint64_t line) override;
+  void drain(uint64_t now) override;
+  bool last_was_miss() const override { return last_was_miss_; }
+
+  const StatGroup& stats() const override { return stats_; }
+  Dram& dram() override { return dram_; }
+  const Dram& dram() const override { return dram_; }
+
+  /// Effective dedup factor: indexed lines / stored entries.
+  double dedup_factor() const;
+
+ private:
+  struct TagEntry {
+    bool valid = false;
+    bool dirty = false;
+    uint64_t line = 0;
+    uint32_t data_idx = 0;
+    uint64_t lru = 0;
+  };
+  struct DataEntry {
+    bool valid = false;
+    uint64_t key = 0;
+    uint64_t lru = 0;
+    std::array<std::byte, kCachelineBytes> repr{};  // representative contents
+    std::vector<uint64_t> sharers;                  // line addresses
+  };
+
+  uint64_t tag_set_of(uint64_t line) const { return (line >> 6) & (tag_sets_ - 1); }
+  TagEntry* find_tag(uint64_t line);
+  /// Approximate map hash of the line's current backing contents.
+  uint64_t map_key(uint64_t line);
+  /// Insert `line` after a fill; returns true if it deduplicated.
+  bool install(uint64_t now, uint64_t line, bool dirty);
+  uint32_t alloc_data_entry(uint64_t now, uint64_t key);
+  void evict_data_entry(uint64_t now, uint32_t idx);
+  void detach_tag(uint64_t now, TagEntry& t, bool write_back);
+  void unshare_for_write(uint64_t now, TagEntry& t);
+
+  SimConfig cfg_;
+  RegionRegistry& regions_;
+  Dram dram_;
+  std::vector<TagEntry> tags_;
+  std::vector<DataEntry> data_;
+  std::unordered_map<uint64_t, uint32_t> by_key_;
+  std::vector<uint32_t> free_data_;
+  uint32_t tag_sets_ = 0;
+  uint32_t tag_ways_ = 0;
+  uint64_t lru_clock_ = 0;
+  uint64_t next_private_key_ = 1;  // keys for non-deduplicated entries
+  // Per-region observed span for quantization.
+  struct Span {
+    float lo = 0, hi = 0;
+    bool init = false;
+  };
+  std::unordered_map<uint64_t, Span> spans_;  // by region base
+  StatGroup stats_{"dganger_system"};
+  bool last_was_miss_ = false;
+};
+
+}  // namespace avr

@@ -1,0 +1,55 @@
+#include "baselines/truncate_system.hh"
+
+namespace avr {
+
+void TruncateSystem::truncate_line(uint64_t line) {
+  line = line_addr(line);
+  for (uint64_t off = 0; off < kCachelineBytes; off += sizeof(float)) {
+    const float v = regions_.load<float>(line + off);
+    regions_.store(line + off, f32_truncate_low_bits(v, cfg_.truncate_bits));
+  }
+}
+
+uint64_t TruncateSystem::request(uint64_t now, uint64_t line, bool write) {
+  line = line_addr(line);
+  stats_.add("requests");
+  last_was_miss_ = false;
+  if (llc_.access(line, write)) return cfg_.llc.latency;
+
+  last_was_miss_ = true;
+  const uint32_t bytes = line_bytes(line);
+  const uint64_t lat = dram_.read(now, line, bytes);
+  count_traffic(line, bytes);
+  const Eviction ev = llc_.fill(line, write);
+  if (ev.valid && ev.dirty) {
+    const uint32_t eb = line_bytes(ev.addr);
+    if (regions_.is_approx(ev.addr)) truncate_line(ev.addr);
+    dram_.write(now, ev.addr, eb);
+    count_traffic(ev.addr, eb);
+  }
+  return lat + cfg_.llc.latency;
+}
+
+void TruncateSystem::writeback(uint64_t now, uint64_t line) {
+  line = line_addr(line);
+  if (llc_.mark_dirty(line)) return;
+  const Eviction ev = llc_.fill(line, /*dirty=*/true);
+  if (ev.valid && ev.dirty) {
+    const uint32_t eb = line_bytes(ev.addr);
+    if (regions_.is_approx(ev.addr)) truncate_line(ev.addr);
+    dram_.write(now, ev.addr, eb);
+    count_traffic(ev.addr, eb);
+  }
+}
+
+void TruncateSystem::drain(uint64_t now) {
+  for (const auto& [addr, dirty] : llc_.valid_lines())
+    if (dirty) {
+      const uint32_t eb = line_bytes(addr);
+      if (regions_.is_approx(addr)) truncate_line(addr);
+      dram_.write(now, addr, eb);
+      count_traffic(addr, eb);
+    }
+}
+
+}  // namespace avr

@@ -1,0 +1,32 @@
+// "Truncate" comparison design (Sec. 4.1): approximate values are compressed
+// to half precision on the memory link by truncating 16 bits, as proposed in
+// Jain'16 / Judd'16 / Sathish'12. Fixed 2:1 ratio on approximate lines:
+// 32 B transferred per 64 B line; precision loss applied at writeback.
+#pragma once
+
+#include "baselines/baseline_system.hh"
+#include "common/fp_bits.hh"
+
+namespace avr {
+
+class TruncateSystem : public BaselineSystem {
+ public:
+  // Approximate lines become half precision whenever they are written back
+  // to memory; data still in caches stays exact, exactly like the hardware.
+  TruncateSystem(const SimConfig& cfg, RegionRegistry& regions)
+      : BaselineSystem(cfg, regions) {}
+
+  uint64_t request(uint64_t now, uint64_t line, bool write) override;
+  void writeback(uint64_t now, uint64_t line) override;
+  void drain(uint64_t now) override;
+
+ private:
+  uint32_t line_bytes(uint64_t line) const {
+    return regions_.is_approx(line) ? kCachelineBytes / 2
+                                    : static_cast<uint32_t>(kCachelineBytes);
+  }
+  /// Drop the low `truncate_bits` of every fp32 in the backing line.
+  void truncate_line(uint64_t line);
+};
+
+}  // namespace avr

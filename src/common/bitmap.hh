@@ -1,0 +1,43 @@
+// Fixed-size 256-bit bitmap: one bit per 32-bit value in a memory block.
+// Used as the outlier-location bitmap of a compressed block (Fig. 2a).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace avr {
+
+class Bitmap256 {
+ public:
+  static constexpr uint32_t kBits = 256;
+
+  constexpr void set(uint32_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  constexpr void clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  constexpr bool test(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  constexpr void reset() { words_ = {}; }
+
+  constexpr uint32_t popcount() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint32_t>(std::popcount(w));
+    return n;
+  }
+  constexpr bool any() const {
+    for (uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  constexpr bool operator==(const Bitmap256&) const = default;
+
+  /// Raw words, e.g. for serialization into the compressed block image.
+  constexpr const std::array<uint64_t, 4>& words() const { return words_; }
+  constexpr std::array<uint64_t, 4>& words() { return words_; }
+
+ private:
+  std::array<uint64_t, 4> words_{};
+};
+
+}  // namespace avr

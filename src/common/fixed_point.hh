@@ -1,0 +1,76 @@
+// Q16.16 fixed-point arithmetic used by the AVR compressor datapath.
+//
+// Sec. 3.3: "The core part of the compression is using fixed point
+// arithmetic to reduce complexity. Consequently, memory blocks containing
+// floating point numbers are converted to fixed point before compression
+// and back to floating point after decompression."
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace avr {
+
+/// Two's-complement Q16.16 fixed point value (the hardware converters of
+/// Saldanha et al. [35] map to/from this format in one cycle).
+class Fixed32 {
+ public:
+  static constexpr int kFracBits = 16;
+  static constexpr int32_t kOne = 1 << kFracBits;
+
+  constexpr Fixed32() = default;
+  static constexpr Fixed32 from_raw(int32_t raw) {
+    Fixed32 f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Saturating conversion from float. Values outside the representable
+  /// range clamp to +/- max; the biasing stage is responsible for keeping
+  /// block values inside range so saturation is the uncommon path.
+  static Fixed32 from_float(float v) {
+    if (std::isnan(v)) return from_raw(0);
+    const double scaled = static_cast<double>(v) * kOne;
+    if (scaled >= static_cast<double>(std::numeric_limits<int32_t>::max()))
+      return from_raw(std::numeric_limits<int32_t>::max());
+    if (scaled <= static_cast<double>(std::numeric_limits<int32_t>::min()))
+      return from_raw(std::numeric_limits<int32_t>::min());
+    return from_raw(static_cast<int32_t>(std::lround(scaled)));
+  }
+
+  constexpr int32_t raw() const { return raw_; }
+  float to_float() const { return static_cast<float>(raw_) / kOne; }
+  double to_double() const { return static_cast<double>(raw_) / kOne; }
+
+  constexpr Fixed32 operator+(Fixed32 o) const { return from_raw(raw_ + o.raw_); }
+  constexpr Fixed32 operator-(Fixed32 o) const { return from_raw(raw_ - o.raw_); }
+  constexpr bool operator==(const Fixed32&) const = default;
+
+  /// Average of `n` values accumulated in 64-bit (the downsampler sums a
+  /// sub-block in a wide accumulator and shifts; for n = 16 this is a plain
+  /// arithmetic right shift by 4 in hardware).
+  template <typename It>
+  static Fixed32 average(It first, It last) {
+    int64_t acc = 0;
+    int64_t n = 0;
+    for (It it = first; it != last; ++it, ++n) acc += it->raw();
+    if (n == 0) return from_raw(0);
+    // Round-to-nearest division, matching a hardware round-half-away shift.
+    const int64_t half = n / 2;
+    const int64_t q = acc >= 0 ? (acc + half) / n : -((-acc + half) / n);
+    return from_raw(static_cast<int32_t>(q));
+  }
+
+  /// Linear blend raw = a + (b - a) * w / wmax with integer weights,
+  /// as used by the interpolating reconstructor.
+  static constexpr Fixed32 lerp(Fixed32 a, Fixed32 b, int w, int wmax) {
+    const int64_t d = static_cast<int64_t>(b.raw_) - a.raw_;
+    return from_raw(static_cast<int32_t>(a.raw_ + (d * w) / wmax));
+  }
+
+ private:
+  int32_t raw_ = 0;
+};
+
+}  // namespace avr

@@ -1,0 +1,65 @@
+// IEEE-754 single-precision bit-level utilities.
+//
+// The AVR error check (Sec. 3.3) is defined at the bit level: a value is an
+// outlier unless sign and exponent match exactly and the mantissa difference
+// stays below the N-th most-significant mantissa bit. Exponent biasing
+// (Sec. 3.3, "Biasing & unbiasing") operates directly on the exponent field.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace avr {
+
+inline constexpr uint32_t kMantissaBits = 23;
+inline constexpr uint32_t kExponentBits = 8;
+inline constexpr uint32_t kMantissaMask = (1u << kMantissaBits) - 1;
+inline constexpr uint32_t kExponentMask = 0xFFu;
+
+inline uint32_t f32_bits(float f) { return std::bit_cast<uint32_t>(f); }
+inline float bits_f32(uint32_t b) { return std::bit_cast<float>(b); }
+
+inline uint32_t f32_sign(float f) { return f32_bits(f) >> 31; }
+/// Raw (biased) exponent field, 0..255.
+inline uint32_t f32_exponent(float f) { return (f32_bits(f) >> kMantissaBits) & kExponentMask; }
+inline uint32_t f32_mantissa(float f) { return f32_bits(f) & kMantissaMask; }
+
+inline float f32_assemble(uint32_t sign, uint32_t exponent, uint32_t mantissa) {
+  return bits_f32((sign << 31) | ((exponent & kExponentMask) << kMantissaBits) |
+                  (mantissa & kMantissaMask));
+}
+
+inline bool f32_is_finite(float f) { return f32_exponent(f) != kExponentMask; }
+inline bool f32_is_zero_or_denormal(float f) { return f32_exponent(f) == 0; }
+
+/// Adds `delta` to the exponent field of a finite, non-zero float.
+/// The caller must have established that the result neither overflows into
+/// the Inf/NaN encoding nor underflows below the denormal range
+/// (the biasing stage checks this per block before applying).
+inline float f32_scale_exponent(float f, int delta) {
+  uint32_t b = f32_bits(f);
+  uint32_t e = (b >> kMantissaBits) & kExponentMask;
+  if (e == 0) return f;  // zero / denormal: biasing leaves these untouched
+  e = static_cast<uint32_t>(static_cast<int>(e) + delta);
+  return bits_f32((b & ~(kExponentMask << kMantissaBits)) | (e << kMantissaBits));
+}
+
+/// Truncates the low `n` mantissa bits to zero (the "Truncate" baseline,
+/// fp32 -> fp16-style precision with n = 16 keeps sign+exp+7 mantissa bits;
+/// the paper truncates 16 bits total which we model as 16 mantissa bits,
+/// the closest free-running equivalent that keeps the value a valid fp32).
+inline float f32_truncate_low_bits(float f, unsigned n) {
+  if (!f32_is_finite(f)) return f;
+  return bits_f32(f32_bits(f) & ~((1u << n) - 1u));
+}
+
+/// Relative error |a-b| / max(|b|, tiny); used for *reporting* application
+/// output error, not for the hardware outlier check.
+inline double relative_error(double approx, double exact) {
+  const double denom = std::abs(exact);
+  if (denom < 1e-30) return std::abs(approx - exact) < 1e-30 ? 0.0 : 1.0;
+  return std::abs(approx - exact) / denom;
+}
+
+}  // namespace avr

@@ -1,0 +1,55 @@
+// Deterministic xoshiro256** PRNG for workload input synthesis.
+// All experiments must be reproducible bit-for-bit run to run, so workloads
+// never touch std::random_device or global RNG state.
+#pragma once
+
+#include <cstdint>
+
+namespace avr {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n).
+  uint64_t below(uint64_t n) { return next() % n; }
+  /// Standard normal via Box-Muller (one value per call; simple and stateless).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(6.28318530717958647692 * u2);
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace avr

@@ -1,0 +1,15 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace avr {
+
+std::string StatGroup::to_string() const {
+  std::ostringstream os;
+  os << "[" << name_ << "]\n";
+  for (const auto& [k, v] : counters_) os << "  " << k << " = " << v << "\n";
+  for (const auto& [k, v] : fcounters_) os << "  " << k << " = " << v << "\n";
+  return os.str();
+}
+
+}  // namespace avr

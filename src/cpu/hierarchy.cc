@@ -1,0 +1,85 @@
+#include "cpu/hierarchy.hh"
+
+#include <string>
+
+namespace avr {
+
+MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg, LlcSystem& llc,
+                                 uint32_t num_cores)
+    : cfg_(cfg), llc_(llc) {
+  for (uint32_t c = 0; c < num_cores; ++c) {
+    l1_.push_back(std::make_unique<SetAssocCache>("l1." + std::to_string(c),
+                                                  cfg.l1.size_bytes, cfg.l1.ways));
+    l2_.push_back(std::make_unique<SetAssocCache>("l2." + std::to_string(c),
+                                                  cfg.l2.size_bytes, cfg.l2.ways));
+  }
+}
+
+void MemoryHierarchy::evict_from_l1(uint32_t core, uint64_t now, const Eviction& ev) {
+  if (!ev.valid || !ev.dirty) return;
+  // Dirty L1 victim lands in the L2 (write-back, allocate on writeback).
+  if (l2_[core]->mark_dirty(ev.addr)) return;
+  const Eviction ev2 = l2_[core]->fill(ev.addr, /*dirty=*/true);
+  if (ev2.valid && ev2.dirty) llc_.writeback(now, ev2.addr);
+}
+
+AccessOutcome MemoryHierarchy::access(uint32_t core, uint64_t now, uint64_t addr,
+                                      bool write) {
+  addr = line_addr(addr);
+  ++accesses_;
+  AccessOutcome out;
+
+  if (l1_[core]->access(addr, write)) {
+    out.latency = cfg_.core.l1_latency;
+    out.level = ServedBy::kL1;
+    latency_sum_ += out.latency;
+    return out;
+  }
+
+  if (l2_[core]->access(addr, /*write=*/false)) {
+    out.latency = cfg_.core.l1_latency + cfg_.core.l2_latency;
+    out.level = ServedBy::kL2;
+  } else {
+    ++llc_requests_;
+    const uint64_t llc_lat = llc_.request(now, addr, /*write=*/false);
+    if (llc_.last_was_miss()) {
+      ++llc_misses_;
+      out.level = ServedBy::kMemory;
+    } else {
+      out.level = ServedBy::kLlc;
+    }
+    out.latency = cfg_.core.l1_latency + cfg_.core.l2_latency + llc_lat;
+    const Eviction ev2 = l2_[core]->fill(addr, /*dirty=*/false);
+    if (ev2.valid && ev2.dirty) llc_.writeback(now, ev2.addr);
+  }
+
+  // Fill L1 (write-allocate: the store dirties the L1 copy).
+  const Eviction ev1 = l1_[core]->fill(addr, write);
+  evict_from_l1(core, now, ev1);
+  latency_sum_ += out.latency;
+  return out;
+}
+
+void MemoryHierarchy::drain(uint64_t now) {
+  for (auto& l1 : l1_)
+    for (const auto& [addr, dirty] : l1->valid_lines())
+      if (dirty) llc_.writeback(now, addr);
+  for (auto& l2 : l2_)
+    for (const auto& [addr, dirty] : l2->valid_lines())
+      if (dirty) llc_.writeback(now, addr);
+  llc_.drain(now);
+}
+
+uint64_t MemoryHierarchy::l1_accesses() const {
+  uint64_t n = 0;
+  for (const auto& c : l1_) n += c->counters().accesses;
+  return n;
+}
+
+uint64_t MemoryHierarchy::l2_accesses() const {
+  uint64_t n = 0;
+  for (const auto& c : l2_) n += c->counters().accesses;
+  return n;
+}
+
+}  // namespace avr

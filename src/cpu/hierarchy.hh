@@ -1,0 +1,62 @@
+// Private L1/L2 cache hierarchy in front of the design-specific shared LLC
+// subsystem. Design-independent: every evaluated design (baseline, Truncate,
+// Doppelganger, AVR) sees identical L1/L2 behaviour, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/config.hh"
+#include "mem/llc_system.hh"
+
+namespace avr {
+
+/// What level served an access (for the interval model's penalty rule and
+/// the AMAT/MPKI metrics).
+enum class ServedBy : uint8_t { kL1, kL2, kLlc, kMemory };
+
+struct AccessOutcome {
+  uint64_t latency = 0;
+  ServedBy level = ServedBy::kL1;
+};
+
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(const SimConfig& cfg, LlcSystem& llc, uint32_t num_cores);
+
+  /// A load/store of the cacheline containing `addr` by `core` at `now`.
+  AccessOutcome access(uint32_t core, uint64_t now, uint64_t addr, bool write);
+
+  /// Write all dirty private-cache state down to the LLC and drain it.
+  void drain(uint64_t now);
+
+  uint64_t llc_requests() const { return llc_requests_; }
+  uint64_t llc_misses() const { return llc_misses_; }
+  uint64_t total_accesses() const { return accesses_; }
+  /// Average memory access time over all instrumented accesses (Fig. 12).
+  double amat() const {
+    return accesses_ ? static_cast<double>(latency_sum_) / static_cast<double>(accesses_)
+                     : 0.0;
+  }
+
+  const SetAssocCache& l1(uint32_t core) const { return *l1_[core]; }
+  const SetAssocCache& l2(uint32_t core) const { return *l2_[core]; }
+  uint64_t l1_accesses() const;
+  uint64_t l2_accesses() const;
+
+ private:
+  void evict_from_l1(uint32_t core, uint64_t now, const Eviction& ev);
+
+  SimConfig cfg_;
+  LlcSystem& llc_;
+  std::vector<std::unique_ptr<SetAssocCache>> l1_;
+  std::vector<std::unique_ptr<SetAssocCache>> l2_;
+  uint64_t llc_requests_ = 0;
+  uint64_t llc_misses_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t latency_sum_ = 0;
+};
+
+}  // namespace avr

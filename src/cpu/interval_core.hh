@@ -1,0 +1,90 @@
+// Interval-based processor model (Genbrugge, Eyerman & Eeckhout, HPCA'10 —
+// the model the paper's simulator uses, Sec. 4.1).
+//
+// Between long-latency miss events the core commits `dispatch_width`
+// instructions per cycle. A miss event exposes its latency minus the ILP
+// the ROB can overlap; multiple misses inside one ROB window overlap with
+// each other (memory-level parallelism), so a burst of misses costs roughly
+// one exposed latency plus the queueing tail — which is how reduced traffic
+// translates into execution time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "cpu/hierarchy.hh"
+
+namespace avr {
+
+class IntervalCore {
+ public:
+  IntervalCore(const CoreConfig& cfg, MemoryHierarchy& mem, uint32_t id)
+      : cfg_(cfg), mem_(mem), id_(id) {
+    // ILP a full ROB can hide under perfect overlap.
+    hide_cycles_ = cfg.rob_size / cfg.dispatch_width;
+  }
+
+  /// Commit `n` non-memory instructions.
+  void ops(uint64_t n) {
+    instructions_ += n;
+    base_work_ += n;
+  }
+
+  /// Commit a load/store of `addr`.
+  void load(uint64_t addr) { memory_op(addr, /*write=*/false); }
+  void store(uint64_t addr) { memory_op(addr, /*write=*/true); }
+
+  uint64_t cycles() const {
+    return stall_cycles_ + base_work_ / cfg_.dispatch_width;
+  }
+  uint64_t instructions() const { return instructions_; }
+  double ipc() const {
+    const uint64_t c = cycles();
+    return c ? static_cast<double>(instructions_) / static_cast<double>(c) : 0.0;
+  }
+  uint32_t id() const { return id_; }
+
+ private:
+  void memory_op(uint64_t addr, bool write) {
+    ++instructions_;
+    ++base_work_;
+    // Misses within one ROB window all issue from the window's start time:
+    // the OoO engine had them in flight together. The DRAM model then
+    // queues them behind each other (bank/bus contention), and the core
+    // charges only the completion tail — so a burst of k misses costs one
+    // exposed latency plus (k-1) transfer slots, i.e. bandwidth-bound.
+    const bool in_window =
+        window_done_ != 0 && (instructions_ - window_first_instr_ < cfg_.rob_size);
+    const uint64_t issue = in_window ? window_issue_ : cycles();
+    const AccessOutcome out = mem_.access(id_, issue, addr, write);
+    // Only latencies beyond what the ROB hides become stalls; on-chip hits
+    // (L1/L2/LLC/DBUF, including AVR decompression) are absorbed by ILP.
+    const uint64_t exposed =
+        out.latency > hide_cycles_ ? out.latency - hide_cycles_ : 0;
+    if (exposed == 0) return;
+
+    const uint64_t done = issue + exposed;
+    if (!in_window) {
+      window_first_instr_ = instructions_;
+      window_issue_ = issue;
+      window_done_ = done;
+      stall_cycles_ += exposed;
+    } else if (done > window_done_) {
+      stall_cycles_ += done - window_done_;
+      window_done_ = done;
+    }
+  }
+
+  CoreConfig cfg_;
+  MemoryHierarchy& mem_;
+  uint32_t id_;
+  uint64_t hide_cycles_ = 48;
+  uint64_t instructions_ = 0;
+  uint64_t base_work_ = 0;     // instructions contributing width-limited cycles
+  uint64_t stall_cycles_ = 0;  // exposed miss penalties
+  uint64_t window_first_instr_ = 0;
+  uint64_t window_issue_ = 0;
+  uint64_t window_done_ = 0;
+};
+
+}  // namespace avr

@@ -1,0 +1,99 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace avr {
+
+Dram::Dram(const DramConfig& cfg) : cfg_(cfg) {
+  channels_.resize(cfg.channels);
+  for (auto& ch : channels_) ch.banks.resize(cfg.banks_per_channel);
+  t_cl_ = uint64_t{cfg.t_cl} * cfg.cpu_per_dram_cycle;
+  t_rcd_ = uint64_t{cfg.t_rcd} * cfg.cpu_per_dram_cycle;
+  t_rp_ = uint64_t{cfg.t_rp} * cfg.cpu_per_dram_cycle;
+  t_burst_ = uint64_t{cfg.t_burst} * cfg.cpu_per_dram_cycle;
+}
+
+uint32_t Dram::channel_of(uint64_t addr) const {
+  // Channel interleaving at memory-block (1 KB) granularity so a whole AVR
+  // block transfer stays on one channel and streams from one row.
+  return static_cast<uint32_t>((addr / kBlockBytes) % cfg_.channels);
+}
+
+uint32_t Dram::bank_of(uint64_t addr) const {
+  const uint64_t per_channel = addr / (kBlockBytes * cfg_.channels);
+  return static_cast<uint32_t>((per_channel / (cfg_.row_bytes / kBlockBytes)) %
+                               cfg_.banks_per_channel);
+}
+
+uint64_t Dram::row_of(uint64_t addr) const {
+  const uint64_t per_channel = addr / (kBlockBytes * cfg_.channels);
+  return per_channel / (cfg_.row_bytes / kBlockBytes) / cfg_.banks_per_channel;
+}
+
+uint64_t Dram::access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write,
+                      uint64_t* stream_done) {
+  Channel& ch = channels_[channel_of(addr)];
+  Bank& bank = ch.banks[bank_of(addr)];
+  const uint64_t row = row_of(addr);
+
+  uint64_t t = std::max<uint64_t>(now + cfg_.controller_latency, bank.ready_at);
+
+  if (!bank.row_open) {
+    t += t_rcd_;  // activate
+    stats_.add("activations");
+    bank.row_open = true;
+    bank.open_row = row;
+  } else if (bank.open_row != row) {
+    t += t_rp_ + t_rcd_;  // precharge + activate
+    stats_.add("activations");
+    stats_.add("row_conflicts");
+    bank.open_row = row;
+  } else {
+    stats_.add("row_hits");
+  }
+
+  // Transfer granularity is half a cacheline (32 B, DDR4 burst-chop), so the
+  // Truncate baseline's 32 B line transfers occupy the bus for half the time.
+  const uint64_t half_burst = std::max<uint64_t>(t_burst_ / 2, 1);
+  const uint32_t chops = static_cast<uint32_t>((bytes + 31) / 32);
+  const uint64_t first_len = std::min<uint64_t>(chops, 2) * half_burst;
+
+  // Column access; data beats occupy the channel bus back to back.
+  uint64_t bus_start = std::max(t + t_cl_, ch.bus_free_at);
+  const uint64_t first_done = bus_start + first_len;
+  const uint64_t all_done = bus_start + uint64_t{chops} * half_burst;
+
+  ch.bus_free_at = all_done;
+  ch.busy_cycles += uint64_t{chops} * half_burst;
+  bank.ready_at = all_done;
+  if (stream_done) *stream_done = all_done;
+
+  stats_.add(is_write ? "writes" : "reads");
+  stats_.add(is_write ? "bytes_written" : "bytes_read", uint64_t{chops} * 32);
+  return first_done - now;
+}
+
+uint64_t Dram::read(uint64_t now, uint64_t addr, uint32_t bytes) {
+  assert(bytes > 0);
+  uint64_t stream_done = 0;
+  const uint64_t lat = access(now, addr, bytes, /*is_write=*/false, &stream_done);
+  stats_.add("read_latency_total", lat);
+  return lat;
+}
+
+uint64_t Dram::write(uint64_t now, uint64_t addr, uint32_t bytes) {
+  assert(bytes > 0);
+  uint64_t stream_done = 0;
+  return access(now, addr, bytes, /*is_write=*/true, &stream_done);
+}
+
+uint64_t Dram::max_channel_busy() const {
+  uint64_t m = 0;
+  for (const auto& ch : channels_) m = std::max(m, ch.busy_cycles);
+  return m;
+}
+
+}  // namespace avr

@@ -1,0 +1,72 @@
+// DDR4 bank/channel timing model (DRAMSim2-class fidelity for the effects
+// that matter to AVR: row-buffer locality, burst pipelining of multi-line
+// block transfers, per-channel bus contention, activation energy).
+//
+// The model is request-driven: the caller passes the current CPU cycle and
+// receives the completion latency; internal bank/channel state advances
+// accordingly. Requests of up to one memory block (16 lines) are issued as
+// a single call so consecutive-line transfers pipeline on the open row,
+// which is precisely why AVR's "one request per block" access pattern wins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace avr {
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& cfg);
+
+  /// Issue a read of `bytes` starting at `addr` at CPU time `now`.
+  /// Returns the latency in CPU cycles until the *first* critical line is
+  /// on chip (subsequent lines of a block stream behind it).
+  uint64_t read(uint64_t now, uint64_t addr, uint32_t bytes);
+
+  /// Issue a (posted) write; returns the occupancy latency, which the core
+  /// never waits on but which keeps banks/bus busy.
+  uint64_t write(uint64_t now, uint64_t addr, uint32_t bytes);
+
+  const StatGroup& stats() const { return stats_; }
+  StatGroup& stats() { return stats_; }
+
+  uint64_t bytes_read() const { return stats_.get("bytes_read"); }
+  uint64_t bytes_written() const { return stats_.get("bytes_written"); }
+  uint64_t total_bytes() const { return bytes_read() + bytes_written(); }
+  uint64_t activations() const { return stats_.get("activations"); }
+
+  /// Busy time of the most loaded channel, for bandwidth-utilization stats.
+  uint64_t max_channel_busy() const;
+
+ private:
+  struct Bank {
+    bool row_open = false;
+    uint64_t open_row = 0;
+    uint64_t ready_at = 0;  // CPU cycle when the bank can accept a command
+  };
+  struct Channel {
+    std::vector<Bank> banks;
+    uint64_t bus_free_at = 0;
+    uint64_t busy_cycles = 0;
+  };
+
+  /// One transaction (<= row) on a single bank; returns completion time of
+  /// the first 64 B beat.
+  uint64_t access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write,
+                  uint64_t* stream_done);
+
+  uint32_t channel_of(uint64_t addr) const;
+  uint32_t bank_of(uint64_t addr) const;
+  uint64_t row_of(uint64_t addr) const;
+
+  DramConfig cfg_;
+  std::vector<Channel> channels_;
+  StatGroup stats_{"dram"};
+  // Timings pre-converted to CPU cycles.
+  uint64_t t_cl_, t_rcd_, t_rp_, t_burst_;
+};
+
+}  // namespace avr

@@ -1,0 +1,75 @@
+// Per-event energy model producing the five-way breakdown of Fig. 10
+// (Core / L1+L2 / LLC / DRAM / Compressor-Decompressor).
+//
+// Constants are CACTI/McPAT-class numbers for 32 nm (the paper's node):
+// dynamic energy per access scaled by structure size, plus leakage
+// proportional to execution time. The AVR module's energy comes from the
+// paper's synthesis (~200k cells; per-block pipeline events).
+#pragma once
+
+#include <cstdint>
+
+namespace avr {
+
+struct EnergyParams {
+  // Dynamic energy per event, nanojoules.
+  double core_per_instr = 0.20;   // OoO core, 32 nm, per committed instr
+  double l1_per_access = 0.03;    // 64 kB 4-way
+  double l2_per_access = 0.12;    // 256 kB 8-way
+  double llc_per_access = 0.55;   // 8 MB 16-way bank access
+  double dram_per_byte = 0.08;    // ~10 pJ/bit I/O + array
+  double dram_per_activate = 2.0; // row activation+precharge
+  double comp_per_block = 0.9;    // compressor pipeline, per block pass
+  double decomp_per_block = 0.35; // decompressor pipeline, per block pass
+
+  // Leakage / background power, nanojoules per CPU cycle.
+  double core_leak_per_cycle = 0.12;
+  double l12_leak_per_cycle = 0.02;
+  double llc_leak_per_cycle = 0.08;   // 8 MB SRAM
+  double dram_background_per_cycle = 0.10;  // 2 channels refresh+standby
+  double comp_leak_per_cycle = 0.004;       // ~200k cells
+};
+
+struct EnergyEvents {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t l1_accesses = 0;
+  uint64_t l2_accesses = 0;
+  uint64_t llc_accesses = 0;
+  uint64_t dram_bytes = 0;
+  uint64_t dram_activations = 0;
+  uint64_t compressions = 0;
+  uint64_t decompressions = 0;
+  bool has_compressor = false;  // only AVR/ZeroAVR pay its leakage
+};
+
+struct EnergyBreakdown {
+  double core = 0;    // nJ
+  double l1l2 = 0;
+  double llc = 0;
+  double dram = 0;
+  double compressor = 0;
+  double total() const { return core + l1l2 + llc + dram + compressor; }
+};
+
+inline EnergyBreakdown compute_energy(const EnergyEvents& e,
+                                      const EnergyParams& p = {}) {
+  EnergyBreakdown b;
+  b.core = p.core_per_instr * static_cast<double>(e.instructions) +
+           p.core_leak_per_cycle * static_cast<double>(e.cycles);
+  b.l1l2 = p.l1_per_access * static_cast<double>(e.l1_accesses) +
+           p.l2_per_access * static_cast<double>(e.l2_accesses) +
+           p.l12_leak_per_cycle * static_cast<double>(e.cycles);
+  b.llc = p.llc_per_access * static_cast<double>(e.llc_accesses) +
+          p.llc_leak_per_cycle * static_cast<double>(e.cycles);
+  b.dram = p.dram_per_byte * static_cast<double>(e.dram_bytes) +
+           p.dram_per_activate * static_cast<double>(e.dram_activations) +
+           p.dram_background_per_cycle * static_cast<double>(e.cycles);
+  if (e.has_compressor)
+    b.compressor = p.comp_per_block * static_cast<double>(e.compressions) +
+                   p.decomp_per_block * static_cast<double>(e.decompressions) +
+                   p.comp_leak_per_cycle * static_cast<double>(e.cycles);
+  return b;
+}
+
+}  // namespace avr

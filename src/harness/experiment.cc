@@ -1,0 +1,180 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/workload_registry.hh"
+
+namespace avr {
+namespace {
+
+// Bump whenever results become incomparable (config or model changes).
+constexpr int kCacheVersion = 1;
+
+Design design_from_int(int v) { return static_cast<Design>(v); }
+
+}  // namespace
+
+std::string ExperimentRunner::default_cache_path() {
+  if (const char* p = std::getenv("AVR_RESULT_CACHE")) return p;
+  return "avr_results_cache.csv";
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig base, bool verbose,
+                                   std::string cache_path)
+    : base_(base), verbose_(verbose), cache_path_(std::move(cache_path)) {
+  load_disk_cache();
+}
+
+void ExperimentRunner::load_disk_cache() {
+  if (cache_path_.empty()) return;
+  std::ifstream in(cache_path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string field;
+    std::vector<std::string> f;
+    while (std::getline(ls, field, ',')) f.push_back(field);
+    if (f.size() < 22 || f[0] != std::to_string(kCacheVersion)) continue;
+    ExperimentResult r;
+    size_t i = 1;
+    r.workload = f[i++];
+    r.design = design_from_int(std::stoi(f[i++]));
+    RunMetrics& m = r.m;
+    m.cycles = std::stoull(f[i++]);
+    m.instructions = std::stoull(f[i++]);
+    m.ipc = std::stod(f[i++]);
+    m.amat = std::stod(f[i++]);
+    m.llc_requests = std::stoull(f[i++]);
+    m.llc_misses = std::stoull(f[i++]);
+    m.llc_mpki = std::stod(f[i++]);
+    m.dram_bytes = std::stoull(f[i++]);
+    m.dram_bytes_approx = std::stoull(f[i++]);
+    m.dram_bytes_other = std::stoull(f[i++]);
+    m.metadata_bytes = std::stoull(f[i++]);
+    m.energy.core = std::stod(f[i++]);
+    m.energy.l1l2 = std::stod(f[i++]);
+    m.energy.llc = std::stod(f[i++]);
+    m.energy.dram = std::stod(f[i++]);
+    m.energy.compressor = std::stod(f[i++]);
+    m.compression_ratio = std::stod(f[i++]);
+    m.footprint_bytes = std::stoull(f[i++]);
+    m.approx_bytes = std::stoull(f[i++]);
+    m.output_error = std::stod(f[i++]);
+    while (i + 1 < f.size()) {
+      m.detail[f[i]] = std::stoull(f[i + 1]);
+      i += 2;
+    }
+    cache_[{r.workload, r.design}] = std::move(r);
+  }
+  if (verbose_ && !cache_.empty())
+    std::fprintf(stderr, "[cache] loaded %zu results from %s\n", cache_.size(),
+                 cache_path_.c_str());
+}
+
+void ExperimentRunner::append_disk_cache(const ExperimentResult& r) {
+  if (cache_path_.empty()) return;
+  std::ofstream out(cache_path_, std::ios::app);
+  const RunMetrics& m = r.m;
+  out << kCacheVersion << ',' << r.workload << ',' << static_cast<int>(r.design)
+      << ',' << m.cycles << ',' << m.instructions << ',' << m.ipc << ',' << m.amat
+      << ',' << m.llc_requests << ',' << m.llc_misses << ',' << m.llc_mpki << ','
+      << m.dram_bytes << ',' << m.dram_bytes_approx << ',' << m.dram_bytes_other
+      << ',' << m.metadata_bytes << ',' << m.energy.core << ',' << m.energy.l1l2
+      << ',' << m.energy.llc << ',' << m.energy.dram << ',' << m.energy.compressor
+      << ',' << m.compression_ratio << ',' << m.footprint_bytes << ','
+      << m.approx_bytes << ',' << m.output_error;
+  for (const auto& [k, v] : m.detail) out << ',' << k << ',' << v;
+  out << '\n';
+}
+
+SimConfig ExperimentRunner::config_for(const Workload& wl) const {
+  SimConfig cfg = base_;
+  cfg.scale_caches(wl.cache_scale());
+  cfg.llc.size_bytes = wl.llc_bytes();
+  cfg.avr.t1_mantissa_msbit = wl.t1_msbit();
+  return cfg;
+}
+
+const std::vector<double>& ExperimentRunner::golden(const std::string& name) {
+  auto it = golden_.find(name);
+  if (it != golden_.end()) return it->second;
+  auto wl = make_workload(name);
+  System sys(Design::kBaseline, config_for(*wl), 1, /*timing=*/false);
+  wl->run(sys);
+  return golden_[name] = wl->output(sys);
+}
+
+const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d) {
+  const auto key = std::make_pair(name, d);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  if (verbose_)
+    std::fprintf(stderr, "[run] %-8s x %-8s ...\n", name.c_str(), to_string(d));
+
+  auto wl = make_workload(name);
+  System sys(d, config_for(*wl));
+  wl->run(sys);
+  // Output is collected before the drain: it reflects the values the
+  // application observes at the end of execution (see DESIGN.md).
+  const std::vector<double> out = wl->output(sys);
+  sys.finish();
+
+  ExperimentResult res;
+  res.workload = name;
+  res.design = d;
+  res.m = sys.metrics();
+  res.m.output_error = mean_relative_error(out, golden(name));
+  append_disk_cache(res);
+  return cache_[key] = res;
+}
+
+void print_normalized_table(
+    ExperimentRunner& r, const std::string& title,
+    const std::vector<std::string>& workloads, const std::vector<Design>& designs,
+    const std::function<double(const RunMetrics&)>& metric, bool include_geomean) {
+  std::printf("\n== %s (normalized to baseline) ==\n", title.c_str());
+  std::printf("%-10s", "design");
+  for (const auto& w : workloads) std::printf(" %9s", w.c_str());
+  if (include_geomean) std::printf(" %9s", "geomean");
+  std::printf("\n");
+  for (Design d : designs) {
+    std::printf("%-10s", to_string(d));
+    double logsum = 0;
+    int n = 0;
+    for (const auto& w : workloads) {
+      const double base = metric(r.run(w, Design::kBaseline).m);
+      const double val = metric(r.run(w, d).m);
+      const double norm = base > 0 ? val / base : 0.0;
+      std::printf(" %9.3f", norm);
+      if (norm > 0) {
+        logsum += std::log(norm);
+        ++n;
+      }
+    }
+    if (include_geomean) std::printf(" %9.3f", n ? std::exp(logsum / n) : 0.0);
+    std::printf("\n");
+  }
+}
+
+void print_value_table(
+    ExperimentRunner& r, const std::string& title,
+    const std::vector<std::string>& workloads, const std::vector<Design>& designs,
+    const std::function<double(const RunMetrics&)>& metric, const std::string& unit) {
+  std::printf("\n== %s (%s) ==\n", title.c_str(), unit.c_str());
+  std::printf("%-10s", "design");
+  for (const auto& w : workloads) std::printf(" %9s", w.c_str());
+  std::printf("\n");
+  for (Design d : designs) {
+    std::printf("%-10s", to_string(d));
+    for (const auto& w : workloads) std::printf(" %9.3f", metric(r.run(w, d).m));
+    std::printf("\n");
+  }
+}
+
+}  // namespace avr

@@ -1,0 +1,78 @@
+// Experiment driver: runs (workload x design) points, computes application
+// output error against a golden functional run, and prints paper-style
+// tables (rows normalized to baseline where the paper normalizes).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "runtime/system.hh"
+#include "workloads/workload.hh"
+
+namespace avr {
+
+struct ExperimentResult {
+  std::string workload;
+  Design design = Design::kBaseline;
+  RunMetrics m;
+};
+
+class ExperimentRunner {
+ public:
+  /// `cache_path`: optional CSV file persisting results across the figure
+  /// binaries (they all share one default-config sweep). Pass "" to disable
+  /// (required for ablations that alter the config). The environment
+  /// variable AVR_RESULT_CACHE overrides the default path.
+  explicit ExperimentRunner(SimConfig base = {}, bool verbose = true,
+                            std::string cache_path = default_cache_path());
+
+  static std::string default_cache_path();
+
+  /// Run one (workload, design) point. Golden outputs are computed once per
+  /// workload and cached; results are cached too, so table printers can
+  /// share runs.
+  const ExperimentResult& run(const std::string& wl, Design d);
+
+  /// All four comparison designs of Sec. 4 plus the baseline.
+  static std::vector<Design> paper_designs() {
+    return {Design::kBaseline, Design::kDoppelganger, Design::kTruncate,
+            Design::kZeroAvr, Design::kAvr};
+  }
+
+  const SimConfig& base_config() const { return base_; }
+  /// Per-workload config (cache hierarchy scaled per Workload::cache_scale).
+  SimConfig config_for(const Workload& wl) const;
+
+ private:
+  const std::vector<double>& golden(const std::string& wl);
+  void load_disk_cache();
+  void append_disk_cache(const ExperimentResult& r);
+
+  SimConfig base_;
+  bool verbose_;
+  std::string cache_path_;
+  std::map<std::string, std::vector<double>> golden_;
+  std::map<std::pair<std::string, Design>, ExperimentResult> cache_;
+};
+
+// ---- table printing --------------------------------------------------------
+
+/// Prints one row per design, one column per workload, each cell
+/// extractor(result)/extractor(baseline result) — the shape of Figs. 9-13.
+void print_normalized_table(
+    ExperimentRunner& r, const std::string& title,
+    const std::vector<std::string>& workloads, const std::vector<Design>& designs,
+    const std::function<double(const RunMetrics&)>& metric,
+    bool include_geomean = true);
+
+/// Prints an absolute-valued table (Table 3 / Table 4 shape).
+void print_value_table(
+    ExperimentRunner& r, const std::string& title,
+    const std::vector<std::string>& workloads, const std::vector<Design>& designs,
+    const std::function<double(const RunMetrics&)>& metric,
+    const std::string& unit);
+
+}  // namespace avr

@@ -1,0 +1,43 @@
+// Base-Delta-Immediate (BDI) lossless cacheline compression
+// (Pekhimenko et al., PACT'12 family) — the orthogonal lossless layer the
+// paper's related-work section discusses: it can compress non-approximated
+// data, or run on top of AVR's compressed block images.
+//
+// A 64 B line is encoded as one base value plus narrow deltas when all
+// words fit (b8d1/2/4, b4d1/2), as a zero line, or as a repeated value;
+// otherwise it stays uncompressed. This is a size model (the simulator
+// never stores encoded bytes), so encode() returns the encoded size only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+
+namespace avr::lossless {
+
+enum class BdiEncoding : uint8_t {
+  kZeros = 0,      // all-zero line: 1 B
+  kRepeated = 1,   // one repeated 8 B value: 8 B
+  kBase8Delta1 = 2,
+  kBase8Delta2 = 3,
+  kBase8Delta4 = 4,
+  kBase4Delta1 = 5,
+  kBase4Delta2 = 6,
+  kUncompressed = 7,
+};
+
+struct BdiResult {
+  BdiEncoding encoding = BdiEncoding::kUncompressed;
+  uint32_t bytes = 64;  // encoded size, <= 64
+};
+
+/// Best BDI encoding of one 64 B cacheline.
+BdiResult encode_line(std::span<const std::byte, kCachelineBytes> line);
+
+/// Sum of per-line encodings over an arbitrary buffer (whole lines only).
+uint64_t encoded_bytes(std::span<const std::byte> data);
+
+const char* to_string(BdiEncoding e);
+
+}  // namespace avr::lossless

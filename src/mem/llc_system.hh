@@ -1,0 +1,39 @@
+// Abstract interface of the shared-LLC + memory-controller subsystem.
+// Each evaluated design point (baseline, Truncate, Doppelganger, AVR /
+// ZeroAVR) provides its own implementation; the private L1/L2 hierarchy and
+// the interval core are design-independent.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "dram/dram.hh"
+
+namespace avr {
+
+class LlcSystem {
+ public:
+  virtual ~LlcSystem() = default;
+
+  /// A demand read or write-allocate request for cacheline `line` arriving
+  /// from a private L2 at CPU time `now`. Returns the latency in cycles
+  /// until the line is available to the L2.
+  virtual uint64_t request(uint64_t now, uint64_t line, bool write) = 0;
+
+  /// A dirty writeback of cacheline `line` arriving from a private L2.
+  /// Posted: the core does not wait, but the operation generates traffic.
+  virtual void writeback(uint64_t now, uint64_t line) = 0;
+
+  /// Drain all dirty state to memory (end of simulation).
+  virtual void drain(uint64_t now) = 0;
+
+  /// Did the *last* request() call hit on chip (LLC or DBUF)?
+  /// Used for MPKI accounting by the hierarchy.
+  virtual bool last_was_miss() const = 0;
+
+  virtual const StatGroup& stats() const = 0;
+  virtual Dram& dram() = 0;
+  virtual const Dram& dram() const = 0;
+};
+
+}  // namespace avr

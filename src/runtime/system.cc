@@ -1,0 +1,99 @@
+#include "runtime/system.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "avr/avr_system.hh"
+#include "baselines/baseline_system.hh"
+#include "baselines/doppelganger_system.hh"
+#include "baselines/truncate_system.hh"
+
+namespace avr {
+
+System::System(Design design, SimConfig cfg, uint32_t num_cores, bool timing)
+    : design_(design), cfg_(cfg), timing_(timing) {
+  if (!timing_) return;  // golden/functional run: no machinery at all
+  switch (design) {
+    case Design::kBaseline:
+      llc_ = std::make_unique<BaselineSystem>(cfg_, regions_);
+      break;
+    case Design::kTruncate:
+      llc_ = std::make_unique<TruncateSystem>(cfg_, regions_);
+      break;
+    case Design::kDoppelganger:
+      llc_ = std::make_unique<DoppelgangerSystem>(cfg_, regions_);
+      break;
+    case Design::kZeroAvr:
+    case Design::kAvr:
+      llc_ = std::make_unique<AvrSystem>(cfg_, regions_);
+      break;
+  }
+  hier_ = std::make_unique<MemoryHierarchy>(cfg_, *llc_, num_cores);
+  for (uint32_t c = 0; c < num_cores; ++c)
+    cores_.push_back(std::make_unique<IntervalCore>(cfg_.core, *hier_, c));
+}
+
+System::~System() = default;
+
+uint64_t System::alloc(const std::string& name, uint64_t bytes, bool approx,
+                       DType dtype) {
+  // ZeroAVR measures the AVR hardware with *nothing* marked approximate.
+  const bool effective_approx = design_ == Design::kZeroAvr ? false : approx;
+  return regions_.allocate(name, bytes, effective_approx, dtype);
+}
+
+void System::finish() {
+  if (finished_ || !timing_) return;
+  finished_ = true;
+  const uint64_t now = cores_.empty() ? 0 : cores_[0]->cycles();
+  hier_->drain(now);
+}
+
+RunMetrics System::metrics() const {
+  RunMetrics m;
+  m.footprint_bytes = regions_.total_bytes();
+  m.approx_bytes = regions_.approx_bytes();
+  if (!timing_) return m;
+
+  for (const auto& c : cores_) {
+    m.cycles = std::max(m.cycles, c->cycles());
+    m.instructions += c->instructions();
+  }
+  m.ipc = m.cycles ? static_cast<double>(m.instructions) / m.cycles : 0;
+  m.amat = hier_->amat();
+  m.llc_requests = hier_->llc_requests();
+  m.llc_misses = hier_->llc_misses();
+  m.llc_mpki = m.instructions
+                   ? 1000.0 * static_cast<double>(m.llc_misses) / m.instructions
+                   : 0;
+
+  const Dram& dram = llc_->dram();
+  m.dram_bytes = dram.total_bytes();
+  const StatGroup& s = llc_->stats();
+  m.dram_bytes_approx = s.get("traffic_approx_bytes");
+  m.dram_bytes_other = s.get("traffic_other_bytes");
+  for (const auto& [k, v] : s.counters()) m.detail[k] = v;
+
+  const bool is_avr = design_ == Design::kAvr || design_ == Design::kZeroAvr;
+  if (is_avr) {
+    const auto& avr = static_cast<const AvrSystem&>(*llc_);
+    m.metadata_bytes = avr.cmt().metadata_traffic_bytes();
+    m.compression_ratio = avr.mean_compression_ratio();
+  }
+
+  EnergyEvents e;
+  e.instructions = m.instructions;
+  e.cycles = m.cycles;
+  e.l1_accesses = hier_->l1_accesses();
+  e.l2_accesses = hier_->l2_accesses();
+  e.llc_accesses = m.llc_requests;
+  e.dram_bytes = m.dram_bytes + m.metadata_bytes;
+  e.dram_activations = dram.activations();
+  e.compressions = s.get("compress_attempts");
+  e.decompressions = s.get("decompressions");
+  e.has_compressor = is_avr;
+  m.energy = compute_energy(e);
+  return m;
+}
+
+}  // namespace avr

@@ -1,0 +1,117 @@
+// Full simulated system for one design point: region registry + interval
+// core(s) + private caches + design-specific LLC subsystem + DRAM + energy.
+//
+// This is also the *runtime API* workloads program against:
+//   alloc()          — the paper's wrapped malloc + approximation annotation
+//   load/store       — instrumented accesses (functional + timing)
+//   ops()            — surrounding non-memory instructions
+//   finish()         — drain dirty state, close the books
+// Running the same workload against Design::kBaseline..kAvr reproduces the
+// paper's design-point comparison; `timing=false` gives the golden
+// (exact, un-instrumented) run used as the error reference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "cpu/hierarchy.hh"
+#include "cpu/interval_core.hh"
+#include "energy/energy_model.hh"
+#include "mem/llc_system.hh"
+#include "runtime/region.hh"
+
+namespace avr {
+
+/// Everything the paper reports for one (workload, design) run.
+struct RunMetrics {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  double ipc = 0;
+  double amat = 0;
+  uint64_t llc_requests = 0;
+  uint64_t llc_misses = 0;
+  double llc_mpki = 0;
+  uint64_t dram_bytes = 0;
+  uint64_t dram_bytes_approx = 0;
+  uint64_t dram_bytes_other = 0;
+  uint64_t metadata_bytes = 0;
+  EnergyBreakdown energy;
+  double compression_ratio = 1.0;  // AVR only; 1.0 otherwise
+  uint64_t footprint_bytes = 0;
+  uint64_t approx_bytes = 0;
+  double output_error = 0.0;  // filled by the harness (vs golden run)
+  std::map<std::string, uint64_t> detail;  // design-specific counters
+};
+
+class System {
+ public:
+  System(Design design, SimConfig cfg, uint32_t num_cores = 1,
+         bool timing = true);
+  ~System();
+
+  // ---- runtime API for workloads -------------------------------------------
+  /// Block-aligned allocation; `approx` marks the region compressible
+  /// (ignored — forced false — under ZeroAVR, which is the point of ZeroAVR).
+  uint64_t alloc(const std::string& name, uint64_t bytes, bool approx,
+                 DType dtype = DType::kFloat32);
+
+  float load_f32(uint64_t addr) {
+    touch(addr, /*write=*/false);
+    return regions_.load<float>(addr);
+  }
+  void store_f32(uint64_t addr, float v) {
+    touch(addr, /*write=*/true);
+    regions_.store(addr, v);
+  }
+  /// Functional peek/poke without timing (for output collection / init that
+  /// must bypass the hierarchy — use sparingly).
+  float peek_f32(uint64_t addr) const { return regions_.load<float>(addr); }
+  void poke_f32(uint64_t addr, float v) { regions_.store(addr, v); }
+
+  /// Non-memory instructions surrounding the accesses.
+  void ops(uint64_t n) {
+    if (timing_) core(0).ops(n);
+  }
+  /// Route subsequent accesses to a given simulated core (round-robin
+  /// partitioning of multi-core workloads).
+  void use_core(uint32_t c) { active_core_ = c < cores_.size() ? c : 0; }
+
+  void finish();
+  RunMetrics metrics() const;
+
+  // ---- component access (tests, benches) ----------------------------------
+  RegionRegistry& regions() { return regions_; }
+  const RegionRegistry& regions() const { return regions_; }
+  LlcSystem& llc_system() { return *llc_; }
+  MemoryHierarchy& hierarchy() { return *hier_; }
+  IntervalCore& core(uint32_t c = 0) { return *cores_[c]; }
+  Design design() const { return design_; }
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  void touch(uint64_t addr, bool write) {
+    if (!timing_) return;
+    IntervalCore& c = *cores_[active_core_];
+    if (cfg_.ops_per_access) c.ops(cfg_.ops_per_access);
+    if (write)
+      c.store(addr);
+    else
+      c.load(addr);
+  }
+
+  Design design_;
+  SimConfig cfg_;
+  bool timing_;
+  bool finished_ = false;
+  uint32_t active_core_ = 0;
+  RegionRegistry regions_;
+  std::unique_ptr<LlcSystem> llc_;
+  std::unique_ptr<MemoryHierarchy> hier_;
+  std::vector<std::unique_ptr<IntervalCore>> cores_;
+};
+
+}  // namespace avr

@@ -1,0 +1,85 @@
+#include "workloads/workload_registry.hh"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace avr {
+
+// Defined one per workload translation unit. Explicit hooks (rather than
+// static-initializer self-registration) so that linking the static library
+// cannot silently drop workloads.
+void link_heat_workload();
+void link_lattice_workload();
+void link_lbm_workload();
+void link_orbit_workload();
+void link_kmeans_workload();
+void link_bscholes_workload();
+void link_wrf_workload();
+
+namespace {
+
+std::map<std::string, WorkloadFactory>& registry() {
+  static std::map<std::string, WorkloadFactory> r;
+  return r;
+}
+
+void link_all() {
+  static const bool once = [] {
+    link_heat_workload();
+    link_lattice_workload();
+    link_lbm_workload();
+    link_orbit_workload();
+    link_kmeans_workload();
+    link_bscholes_workload();
+    link_wrf_workload();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+bool register_workload(const std::string& name, WorkloadFactory factory) {
+  registry()[name] = std::move(factory);
+  return true;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  link_all();
+  auto it = registry().find(name);
+  if (it == registry().end()) throw std::invalid_argument("unknown workload: " + name);
+  return it->second();
+}
+
+std::vector<std::string> workload_names() {
+  // Paper order (Table 2).
+  return {"heat", "lattice", "lbm", "orbit", "kmeans", "bscholes", "wrf"};
+}
+
+double mean_relative_error(const std::vector<double>& approx,
+                           const std::vector<double>& exact) {
+  if (approx.size() != exact.size() || exact.empty())
+    throw std::invalid_argument("output size mismatch");
+  // Robust denominator: a value whose exact magnitude is far below the
+  // output's overall scale (e.g. the ~0 velocity inside an obstacle) is
+  // scored against that scale, not against its own near-zero magnitude —
+  // otherwise a 1e-9 absolute deviation would read as >100 % error.
+  double scale = 0;
+  for (double v : exact) scale += std::abs(v);
+  scale /= static_cast<double>(exact.size());
+  const double floor_denom = std::max(0.05 * scale, 1e-30);
+  double sum = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double a = approx[i];
+    const double e = exact[i];
+    if (!std::isfinite(a) || !std::isfinite(e)) {
+      sum += (std::isfinite(a) == std::isfinite(e)) ? 0.0 : 1.0;
+      continue;
+    }
+    sum += std::abs(a - e) / std::max(std::abs(e), floor_denom);
+  }
+  return sum / static_cast<double>(exact.size());
+}
+
+}  // namespace avr

@@ -1,0 +1,18 @@
+// Self-registration of workloads: each translation unit registers a factory
+// at static-init time, so make_workload() needs no central include list.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace avr {
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/// Registers `factory` under `name`; returns true (for static-init idiom).
+bool register_workload(const std::string& name, WorkloadFactory factory);
+
+}  // namespace avr

@@ -1,0 +1,302 @@
+// End-to-end tests of the AVR request flow (Fig. 7) and eviction flow
+// (Fig. 8) against a small LLC, exercising the functional value layer.
+#include "avr/avr_system.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+SimConfig tiny_cfg() {
+  SimConfig cfg;
+  cfg.llc = {16 * 1024, 8, 15};  // 32 sets
+  return cfg;
+}
+
+/// Fills a block with a smooth field (compresses to 1 line).
+void fill_smooth(RegionRegistry& r, uint64_t block, float base) {
+  auto vals = r.block_values(block);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    vals[i] = base + 0.05f * static_cast<float>(i % 16) +
+              0.03f * static_cast<float>(i / 16);
+}
+
+/// Fills a block with full-range noise (never compresses).
+void fill_noise(RegionRegistry& r, uint64_t block, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  auto vals = r.block_values(block);
+  for (auto& v : vals) v = static_cast<float>(rng.uniform(-1e6, 1e6));
+}
+
+class AvrSystemTest : public ::testing::Test {
+ protected:
+  AvrSystemTest() : sys_(tiny_cfg(), regions_) {
+    approx_base_ = regions_.allocate("approx", 64 * kBlockBytes, true);
+    exact_base_ = regions_.allocate("exact", 64 * kBlockBytes, false);
+  }
+  uint64_t stat(const char* k) const { return sys_.stats().get(k); }
+
+  RegionRegistry regions_;
+  AvrSystem sys_{tiny_cfg(), regions_};
+  uint64_t approx_base_ = 0, exact_base_ = 0;
+};
+
+TEST_F(AvrSystemTest, ColdMissOnUncompressedBlockReadsOneLine) {
+  fill_smooth(regions_, approx_base_, 100.0f);
+  sys_.request(0, approx_base_, false);
+  EXPECT_EQ(stat("req_miss"), 1u);
+  EXPECT_EQ(sys_.dram().bytes_read(), kCachelineBytes);
+}
+
+TEST_F(AvrSystemTest, NonApproxFollowsBaselinePath) {
+  sys_.request(0, exact_base_, false);
+  EXPECT_EQ(stat("req_miss_other"), 1u);
+  EXPECT_EQ(stat("req_miss"), 0u);
+  EXPECT_EQ(stat("approx_requests"), 0u);
+}
+
+TEST_F(AvrSystemTest, DirtyEvictionCompressesBlockAndAppliesReconstruction) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  const float original = regions_.load<float>(block + 4);
+  // Touch every line dirty, then force eviction by streaming far data.
+  for (uint32_t i = 0; i < kBlockLines; ++i)
+    sys_.request(0, block + i * kCachelineBytes, true);
+  // Stream enough distinct lines to evict the whole tiny LLC.
+  for (uint64_t i = 0; i < 1024; ++i)
+    sys_.request(0, exact_base_ + (i * 64) % (48 * kBlockBytes), true);
+  EXPECT_GT(stat("compress_successes"), 0u);
+  // The CMT must know the block is compressed now.
+  const BlockMeta* m = sys_.cmt().peek(block);
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->compressed());
+  EXPECT_EQ(m->size_lines, 1u);
+  // Functional effect: value replaced by its reconstruction (close, not
+  // necessarily identical).
+  const float now = regions_.load<float>(block + 4);
+  EXPECT_NEAR(now, original, std::abs(original) * 0.13f);
+}
+
+TEST_F(AvrSystemTest, CompressedBlockFetchReadsSizeLines) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  // Manually mark the block compressed in memory.
+  auto out = [&] {
+    BlockMeta& m = sys_.cmt().lookup(block);
+    m.method = Method::kDownsample2D;
+    m.size_lines = 1;
+    return 0;
+  }();
+  (void)out;
+  const uint64_t before = sys_.dram().bytes_read();
+  sys_.request(0, block + 0x80, false);
+  EXPECT_EQ(sys_.dram().bytes_read() - before, kCachelineBytes);  // 1 CMS line
+  EXPECT_EQ(stat("block_fetches"), 1u);
+  // Following requests to other lines of the block hit the DBUF.
+  sys_.request(0, block + 0xC0, false);
+  EXPECT_EQ(stat("req_hit_dbuf"), 1u);
+  EXPECT_FALSE(sys_.last_was_miss());
+}
+
+TEST_F(AvrSystemTest, CmsHitAvoidsDram) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  BlockMeta& m = sys_.cmt().lookup(block);
+  m.method = Method::kDownsample2D;
+  m.size_lines = 1;
+  sys_.request(0, block, false);  // fetch: CMS now in LLC, DBUF filled
+  // Displace the DBUF with a different block fetch.
+  const uint64_t other = approx_base_ + kBlockBytes;
+  fill_smooth(regions_, other, 80.0f);
+  BlockMeta& m2 = sys_.cmt().lookup(other);
+  m2.method = Method::kDownsample2D;
+  m2.size_lines = 1;
+  sys_.request(0, other, false);
+  const uint64_t before = sys_.dram().bytes_read();
+  // A different line of the first block: UCL miss, DBUF miss, CMS hit.
+  sys_.request(0, block + 0x140, false);
+  EXPECT_EQ(stat("req_hit_compressed"), 1u);
+  EXPECT_EQ(sys_.dram().bytes_read(), before);
+  EXPECT_FALSE(sys_.last_was_miss());
+}
+
+TEST_F(AvrSystemTest, LazyWritebackUsesOneLineAndCountsMeta) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  BlockMeta& m = sys_.cmt().lookup(block);
+  m.method = Method::kDownsample2D;
+  m.size_lines = 1;  // 15 lines of lazy space
+  const uint64_t before_w = sys_.dram().bytes_written();
+  // Dirty writeback of a line whose block is compressed in memory but has
+  // no CMS image in the LLC: must take the lazy path.
+  sys_.writeback(0, block + 0x40);
+  // Evict it by streaming.
+  for (uint64_t i = 0; i < 2048; ++i)
+    sys_.request(0, exact_base_ + (i * 64) % (48 * kBlockBytes), false);
+  EXPECT_GE(stat("evict_lazy_wb"), 1u);
+  EXPECT_GE(sys_.dram().bytes_written() - before_w, kCachelineBytes);
+  const BlockMeta* pm = sys_.cmt().peek(block);
+  EXPECT_GE(pm->lazy_count, 1u);
+  EXPECT_EQ(sys_.cmt().lazy_lines(block)[0], 1u);  // line index 1
+}
+
+TEST_F(AvrSystemTest, LazySpaceExhaustionTriggersFetchRecompress) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  BlockMeta& m = sys_.cmt().lookup(block);
+  m.method = Method::kDownsample2D;
+  m.size_lines = 8;
+  m.lazy_count = 8;  // block slot full: no lazy space
+  sys_.writeback(0, block + 0x40);
+  for (uint64_t i = 0; i < 2048; ++i)
+    sys_.request(0, exact_base_ + (i * 64) % (48 * kBlockBytes), false);
+  EXPECT_GE(stat("evict_fetch_recompress"), 1u);
+  const BlockMeta* pm = sys_.cmt().peek(block);
+  EXPECT_EQ(pm->lazy_count, 0u);  // recompaction cleared the lazy region
+}
+
+TEST_F(AvrSystemTest, FailureHistorySkipsAttempts) {
+  const uint64_t block = approx_base_ + 2 * kBlockBytes;
+  fill_noise(regions_, block, 99);
+  // Repeatedly dirty lines of the incompressible block and flush them out.
+  for (int round = 0; round < 12; ++round) {
+    sys_.writeback(0, block + (round % 16) * kCachelineBytes);
+    for (uint64_t i = 0; i < 1024; ++i)
+      sys_.request(0, exact_base_ + (i * 64) % (48 * kBlockBytes), false);
+  }
+  EXPECT_GT(stat("compress_failures"), 0u);
+  EXPECT_GT(stat("attempts_skipped"), 0u);
+  const BlockMeta* pm = sys_.cmt().peek(block);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_FALSE(pm->compressed());
+  EXPECT_GT(pm->failed, 0u);
+}
+
+TEST_F(AvrSystemTest, FailureHistoryDisabledNeverSkips) {
+  SimConfig cfg = tiny_cfg();
+  cfg.avr.enable_failure_history = false;
+  RegionRegistry regions;
+  AvrSystem sys(cfg, regions);
+  const uint64_t a = regions.allocate("a", 16 * kBlockBytes, true);
+  const uint64_t e = regions.allocate("e", 64 * kBlockBytes, false);
+  fill_noise(regions, a, 1);
+  for (int round = 0; round < 8; ++round) {
+    sys.writeback(0, a + (round % 16) * kCachelineBytes);
+    for (uint64_t i = 0; i < 1024; ++i)
+      sys.request(0, e + (i * 64) % (48 * kBlockBytes), false);
+  }
+  EXPECT_EQ(sys.stats().get("attempts_skipped"), 0u);
+}
+
+TEST_F(AvrSystemTest, PfePromotesHotBlocks) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 10.0f);
+  BlockMeta& m = sys_.cmt().lookup(block);
+  m.method = Method::kDownsample2D;
+  m.size_lines = 1;
+  // Fetch and touch >= pfe_threshold lines via the DBUF.
+  for (uint32_t i = 0; i < 9; ++i) sys_.request(0, block + i * kCachelineBytes, false);
+  // Displace the DBUF: the PFE must promote the remaining lines.
+  const uint64_t other = approx_base_ + kBlockBytes;
+  fill_smooth(regions_, other, 20.0f);
+  BlockMeta& m2 = sys_.cmt().lookup(other);
+  m2.method = Method::kDownsample2D;
+  m2.size_lines = 1;
+  sys_.request(0, other, false);
+  EXPECT_EQ(stat("pfe_promotions"), 1u);
+  EXPECT_GT(stat("pfe_lines"), 0u);
+  // Promoted lines now hit as UCLs without DRAM traffic.
+  const uint64_t before = sys_.dram().bytes_read();
+  sys_.request(0, block + 15 * kCachelineBytes, false);
+  EXPECT_EQ(sys_.dram().bytes_read(), before);
+}
+
+TEST_F(AvrSystemTest, PfeBelowThresholdDoesNotPromote) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 10.0f);
+  BlockMeta& m = sys_.cmt().lookup(block);
+  m.method = Method::kDownsample2D;
+  m.size_lines = 1;
+  for (uint32_t i = 0; i < 3; ++i) sys_.request(0, block + i * kCachelineBytes, false);
+  const uint64_t other = approx_base_ + kBlockBytes;
+  fill_smooth(regions_, other, 20.0f);
+  BlockMeta& m2 = sys_.cmt().lookup(other);
+  m2.method = Method::kDownsample2D;
+  m2.size_lines = 1;
+  sys_.request(0, other, false);
+  EXPECT_EQ(stat("pfe_promotions"), 0u);
+}
+
+TEST_F(AvrSystemTest, DrainWritesBackDirtyState) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 30.0f);
+  for (uint32_t i = 0; i < kBlockLines; ++i)
+    sys_.request(0, block + i * kCachelineBytes, true);
+  const uint64_t before = sys_.dram().bytes_written();
+  sys_.drain(0);
+  EXPECT_GT(sys_.dram().bytes_written(), before);
+  // After drain the block is compressed in memory.
+  const BlockMeta* pm = sys_.cmt().peek(block);
+  ASSERT_NE(pm, nullptr);
+  EXPECT_TRUE(pm->compressed());
+}
+
+TEST_F(AvrSystemTest, CompressionRatioReported) {
+  for (int b = 0; b < 8; ++b)
+    fill_smooth(regions_, approx_base_ + b * kBlockBytes, 5.0f * b + 1.0f);
+  for (int b = 0; b < 8; ++b)
+    for (uint32_t i = 0; i < kBlockLines; ++i)
+      sys_.request(0, approx_base_ + b * kBlockBytes + i * kCachelineBytes, true);
+  sys_.drain(0);
+  EXPECT_GT(sys_.mean_compression_ratio(), 8.0);  // smooth data ~16:1
+}
+
+TEST_F(AvrSystemTest, OutliersSurviveRoundTrip) {
+  const uint64_t block = approx_base_;
+  fill_smooth(regions_, block, 50.0f);
+  regions_.store<float>(block + 12 * 4, -9999.0f);  // spike -> outlier
+  for (uint32_t i = 0; i < kBlockLines; ++i)
+    sys_.request(0, block + i * kCachelineBytes, true);
+  sys_.drain(0);
+  const BlockMeta* pm = sys_.cmt().peek(block);
+  ASSERT_TRUE(pm && pm->compressed());
+  EXPECT_FLOAT_EQ(regions_.load<float>(block + 12 * 4), -9999.0f);
+}
+
+TEST_F(AvrSystemTest, MetadataTrafficAccrues) {
+  fill_smooth(regions_, approx_base_, 1.0f);
+  for (uint64_t p = 0; p < 8; ++p)
+    sys_.request(0, approx_base_ + p * kBlockBytes, false);
+  EXPECT_GT(sys_.cmt().metadata_traffic_bytes(), 0u);
+}
+
+TEST(AvrSystemTraffic, SmoothStreamBeatsUncompressed) {
+  // Stream a large smooth approx array twice: the second pass must fetch
+  // compressed blocks and move far fewer bytes than the footprint.
+  SimConfig cfg = tiny_cfg();
+  RegionRegistry regions;
+  AvrSystem sys(cfg, regions);
+  const uint64_t blocks = 128;
+  const uint64_t base = regions.allocate("stream", blocks * kBlockBytes, true);
+  for (uint64_t b = 0; b < blocks; ++b)
+    fill_smooth(regions, base + b * kBlockBytes, static_cast<float>(b));
+  // Pass 1: write everything (compresses on eviction).
+  for (uint64_t b = 0; b < blocks; ++b)
+    for (uint32_t i = 0; i < kBlockLines; ++i)
+      sys.writeback(0, base + b * kBlockBytes + i * kCachelineBytes);
+  sys.drain(0);
+  const uint64_t start = sys.dram().bytes_read();
+  // Pass 2: read everything.
+  for (uint64_t b = 0; b < blocks; ++b)
+    for (uint32_t i = 0; i < kBlockLines; ++i)
+      sys.request(0, base + b * kBlockBytes + i * kCachelineBytes, false);
+  const uint64_t read = sys.dram().bytes_read() - start;
+  EXPECT_LT(read, blocks * kBlockBytes / 4) << "compressed reads should be ~16x smaller";
+}
+
+}  // namespace
+}  // namespace avr

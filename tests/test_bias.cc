@@ -1,0 +1,111 @@
+#include "avr/bias.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/fp_bits.hh"
+
+namespace avr {
+namespace {
+
+using Block = std::array<float, kValuesPerBlock>;
+
+Block filled(float v) {
+  Block b;
+  b.fill(v);
+  return b;
+}
+
+TEST(Bias, LargeValuesGetNegativeBias) {
+  const Block b = filled(1e20f);
+  const int8_t bias = choose_bias(b);
+  EXPECT_LT(bias, 0);
+  // After biasing, values must land near the target exponent.
+  Block c = b;
+  apply_bias(c, bias);
+  EXPECT_EQ(f32_exponent(c[0]), static_cast<uint32_t>(kBiasTargetExponent));
+}
+
+TEST(Bias, TinyValuesGetPositiveBias) {
+  const Block b = filled(1e-20f);
+  const int8_t bias = choose_bias(b);
+  EXPECT_GT(bias, 0);
+}
+
+TEST(Bias, SkippedOnNanOrInf) {
+  Block b = filled(1.0f);
+  b[17] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(choose_bias(b), 0);
+  b[17] = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(choose_bias(b), 0);
+}
+
+TEST(Bias, AllZeroBlockGetsZeroBias) {
+  EXPECT_EQ(choose_bias(filled(0.0f)), 0);
+}
+
+TEST(Bias, NeverOverflowsAnyValue) {
+  // Huge dynamic range: bias must keep every exponent within [1, 254].
+  Block b = filled(1.0f);
+  b[0] = 1e35f;
+  b[1] = 1e-35f;
+  const int8_t bias = choose_bias(b);
+  for (float v : b) {
+    const uint32_t e = f32_exponent(v);
+    if (e == 0) continue;
+    const int be = static_cast<int>(e) + bias;
+    EXPECT_GE(be, 1);
+    EXPECT_LE(be, 254);
+  }
+}
+
+TEST(Bias, ApplyUnbiasRoundTripsExactly) {
+  Block b;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    b[i] = std::ldexp(1.0f + 0.001f * static_cast<float>(i), (i % 40) - 20);
+  const int8_t bias = choose_bias(b);
+  Block c = b;
+  apply_bias(c, bias);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    EXPECT_EQ(f32_bits(unbias_value(c[i], bias)), f32_bits(b[i])) << i;
+}
+
+TEST(Bias, BiasIsExactPowerOfTwoScaling) {
+  Block b = filled(3.7f);
+  const int8_t bias = choose_bias(b);
+  Block c = b;
+  apply_bias(c, bias);
+  EXPECT_FLOAT_EQ(c[0], std::ldexp(3.7f, bias));
+}
+
+TEST(Bias, ZeroValuesUntouchedByApply) {
+  Block b = filled(1000.0f);
+  b[3] = 0.0f;
+  const int8_t bias = choose_bias(b);
+  Block c = b;
+  apply_bias(c, bias);
+  EXPECT_EQ(f32_bits(c[3]), f32_bits(0.0f));
+}
+
+TEST(Bias, UnbiasZeroBiasIsIdentity) {
+  EXPECT_FLOAT_EQ(unbias_value(5.5f, 0), 5.5f);
+}
+
+TEST(Bias, TypicalMagnitudesLandInFixedRange) {
+  // Values around 1.0, 1e3 and 1e-3 must all end up well inside Q16.16
+  // (|v| < 32768) after biasing.
+  for (float mag : {1.0f, 1e3f, 1e-3f, 1e6f, 1e-6f}) {
+    Block b = filled(mag);
+    const int8_t bias = choose_bias(b);
+    Block c = b;
+    apply_bias(c, bias);
+    EXPECT_LT(std::abs(c[0]), 32768.0f) << mag;
+    EXPECT_GT(std::abs(c[0]), 1.0f / 65536.0f) << mag;
+  }
+}
+
+}  // namespace
+}  // namespace avr

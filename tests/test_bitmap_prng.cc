@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hh"
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+TEST(Bitmap256, SetTestClear) {
+  Bitmap256 b;
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(255);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(255));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.popcount(), 4u);
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.popcount(), 3u);
+  b.reset();
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+TEST(Bitmap256, Equality) {
+  Bitmap256 a, b;
+  a.set(100);
+  EXPECT_NE(a, b);
+  b.set(100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap256, WordLayoutMatchesBitIndex) {
+  Bitmap256 b;
+  b.set(65);
+  EXPECT_EQ(b.words()[1], uint64_t{1} << 1);
+  EXPECT_EQ(b.words()[0], 0u);
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanRoughlyHalf) {
+  Xoshiro256 rng(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BelowBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,136 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache c("t", 4096, 4);
+  EXPECT_FALSE(c.access(0x1000, false));
+  c.fill(0x1000, false);
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_EQ(c.counters().hits, 1u);
+  EXPECT_EQ(c.counters().misses, 1u);
+}
+
+TEST(SetAssocCache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache("t", 1000, 3), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache("t", 4096, 0), std::invalid_argument);
+  // 4096/4/64 = 16 sets: fine. 4096+64 not a multiple.
+  EXPECT_THROW(SetAssocCache("t", 4096 + 64, 4), std::invalid_argument);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  // 1 set x 2 ways of 64 B lines.
+  SetAssocCache c("t", 128, 2);
+  c.fill(0x0, false);
+  c.fill(0x40 * 16, false);  // any addr maps to set 0 with 1 set... sets=1
+  // Touch the first line so the second becomes LRU.
+  c.access(0x0, false);
+  const Eviction ev = c.fill(0x40 * 32, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 0x40u * 16);
+}
+
+TEST(SetAssocCache, DirtyBitOnWriteAndWritebackReporting) {
+  SetAssocCache c("t", 128, 2);
+  c.fill(0x0, false);
+  c.access(0x0, /*write=*/true);
+  c.fill(0x40 * 16, false);
+  c.access(0x40 * 16, false);  // make line 0 LRU
+  const Eviction ev = c.fill(0x40 * 32, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 0x0u);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(SetAssocCache, FillWithDirtyFlag) {
+  SetAssocCache c("t", 128, 2);
+  c.fill(0x0, /*dirty=*/true);
+  auto inv = c.invalidate(0x0);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(*inv);
+}
+
+TEST(SetAssocCache, InvalidateMissing) {
+  SetAssocCache c("t", 128, 2);
+  EXPECT_FALSE(c.invalidate(0x123000).has_value());
+}
+
+TEST(SetAssocCache, MarkDirty) {
+  SetAssocCache c("t", 128, 2);
+  EXPECT_FALSE(c.mark_dirty(0x0));
+  c.fill(0x0, false);
+  EXPECT_TRUE(c.mark_dirty(0x0));
+  EXPECT_TRUE(*c.invalidate(0x0));
+}
+
+TEST(SetAssocCache, ValidLinesEnumeratesAddressesCorrectly) {
+  SetAssocCache c("t", 64 * 1024, 16);
+  const uint64_t addrs[] = {0x10000, 0x2F040, 0xABCDE000};
+  for (uint64_t a : addrs) c.fill(a, true);
+  auto lines = c.valid_lines();
+  EXPECT_EQ(lines.size(), 3u);
+  for (uint64_t a : addrs) {
+    bool found = false;
+    for (auto& [addr, dirty] : lines)
+      if (addr == line_addr(a)) {
+        found = true;
+        EXPECT_TRUE(dirty);
+      }
+    EXPECT_TRUE(found) << std::hex << a;
+  }
+}
+
+TEST(SetAssocCache, ProbeHasNoSideEffects) {
+  SetAssocCache c("t", 128, 2);
+  c.fill(0x0, false);
+  c.fill(0x40 * 16, false);
+  c.probe(0x0);  // must NOT refresh LRU
+  const Eviction ev = c.fill(0x40 * 32, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 0x0u);  // 0x0 was still LRU despite the probe
+}
+
+TEST(SetAssocCache, DistinctSetsDoNotInterfere) {
+  SetAssocCache c("t", 8192, 2);  // 64 sets
+  c.fill(0x0, false);
+  c.fill(0x40, false);  // next line, different set
+  EXPECT_TRUE(c.access(0x0, false));
+  EXPECT_TRUE(c.access(0x40, false));
+}
+
+class CacheProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheProperty, OccupancyNeverExceedsCapacity) {
+  SetAssocCache c("t", 16 * 1024, 8);  // 256 lines
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t addr = rng.below(1 << 20) * kCachelineBytes;
+    if (!c.access(addr, rng.below(2)))
+      c.fill(addr, false);
+  }
+  EXPECT_LE(c.valid_lines().size(), 256u);
+  EXPECT_EQ(c.counters().accesses, 5000u);
+  EXPECT_EQ(c.counters().hits + c.counters().misses, 5000u);
+}
+
+TEST_P(CacheProperty, SmallWorkingSetAlwaysHitsAfterWarmup) {
+  SetAssocCache c("t", 16 * 1024, 8);
+  Xoshiro256 rng(GetParam() * 7);
+  // 64 lines working set in a 256-line cache.
+  std::vector<uint64_t> ws;
+  for (int i = 0; i < 64; ++i) ws.push_back(rng.below(1 << 16) * kCachelineBytes);
+  for (uint64_t a : ws)
+    if (!c.access(a, false)) c.fill(a, false);
+  for (int round = 0; round < 3; ++round)
+    for (uint64_t a : ws) EXPECT_TRUE(c.access(a, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,165 @@
+#include "avr/downsample.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+using Block = std::array<Fixed32, kValuesPerBlock>;
+
+Block constant_block(float v) {
+  Block b;
+  for (auto& x : b) x = Fixed32::from_float(v);
+  return b;
+}
+
+Block ramp_block_1d(float base, float step) {
+  Block b;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    b[i] = Fixed32::from_float(base + step * static_cast<float>(i));
+  return b;
+}
+
+TEST(Downsample1D, ConstantBlockIsExact) {
+  const Block in = constant_block(42.5f);
+  const auto avg = downsample::compress_1d(in);
+  for (const Fixed32& a : avg) EXPECT_FLOAT_EQ(a.to_float(), 42.5f);
+  Block out;
+  downsample::reconstruct_1d(avg, out);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    EXPECT_EQ(out[i].raw(), in[i].raw()) << i;
+}
+
+TEST(Downsample2D, ConstantBlockIsExact) {
+  const Block in = constant_block(-7.25f);
+  const auto avg = downsample::compress_2d(in);
+  Block out;
+  downsample::reconstruct_2d(avg, out);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    EXPECT_EQ(out[i].raw(), in[i].raw()) << i;
+}
+
+TEST(Downsample1D, AveragesAreSubBlockMeans) {
+  const Block in = ramp_block_1d(0.0f, 1.0f);
+  const auto avg = downsample::compress_1d(in);
+  for (uint32_t k = 0; k < 16; ++k) {
+    // Mean of 16k .. 16k+15 = 16k + 7.5.
+    EXPECT_NEAR(avg[k].to_float(), 16.0f * k + 7.5f, 1.0f / Fixed32::kOne);
+  }
+}
+
+TEST(Downsample1D, LinearRampReconstructsWellInInterior) {
+  const Block in = ramp_block_1d(10.0f, 0.5f);
+  const auto avg = downsample::compress_1d(in);
+  Block out;
+  downsample::reconstruct_1d(avg, out);
+  // Linear interpolation reproduces a linear signal exactly between the
+  // first and last sub-block centers; edges clamp.
+  for (uint32_t i = 8; i < kValuesPerBlock - 8; ++i)
+    EXPECT_NEAR(out[i].to_float(), in[i].to_float(), 0.01f) << i;
+  // Clamped edges deviate by at most the half-sub-block slope.
+  for (uint32_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(out[i].to_float(), in[i].to_float(), 0.5f * 8.0f + 0.01f);
+}
+
+TEST(Downsample2D, BilinearPlaneReconstructsWellInInterior) {
+  Block in;
+  for (uint32_t r = 0; r < 16; ++r)
+    for (uint32_t c = 0; c < 16; ++c)
+      in[r * 16 + c] = Fixed32::from_float(2.0f + 0.25f * r - 0.125f * c);
+  const auto avg = downsample::compress_2d(in);
+  Block out;
+  downsample::reconstruct_2d(avg, out);
+  for (uint32_t r = 2; r < 14; ++r)
+    for (uint32_t c = 2; c < 14; ++c)
+      EXPECT_NEAR(out[r * 16 + c].to_float(), in[r * 16 + c].to_float(), 0.01f)
+          << r << "," << c;
+}
+
+TEST(Downsample2D, TileAveragesRowMajor) {
+  // Tile (tr, tc) holds value tr*10 + tc; check average placement.
+  Block in;
+  for (uint32_t r = 0; r < 16; ++r)
+    for (uint32_t c = 0; c < 16; ++c)
+      in[r * 16 + c] = Fixed32::from_float(static_cast<float>((r / 4) * 10 + (c / 4)));
+  const auto avg = downsample::compress_2d(in);
+  for (uint32_t tr = 0; tr < 4; ++tr)
+    for (uint32_t tc = 0; tc < 4; ++tc)
+      EXPECT_FLOAT_EQ(avg[tr * 4 + tc].to_float(), static_cast<float>(tr * 10 + tc));
+}
+
+TEST(Downsample1D, ReconstructionStaysWithinAverageEnvelope) {
+  Xoshiro256 rng(5);
+  Block in;
+  for (auto& x : in) x = Fixed32::from_float(static_cast<float>(rng.uniform(-50, 50)));
+  const auto avg = downsample::compress_1d(in);
+  int32_t lo = avg[0].raw(), hi = avg[0].raw();
+  for (const Fixed32& a : avg) {
+    lo = std::min(lo, a.raw());
+    hi = std::max(hi, a.raw());
+  }
+  Block out;
+  downsample::reconstruct_1d(avg, out);
+  for (const Fixed32& o : out) {
+    EXPECT_GE(o.raw(), lo);
+    EXPECT_LE(o.raw(), hi);
+  }
+}
+
+class DownsampleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DownsampleProperty, SmoothFieldErrorBounded2D) {
+  Xoshiro256 rng(GetParam());
+  const float fx = static_cast<float>(rng.uniform(0.02, 0.08));
+  const float fy = static_cast<float>(rng.uniform(0.02, 0.08));
+  const float amp = static_cast<float>(rng.uniform(1.0, 100.0));
+  Block in;
+  for (uint32_t r = 0; r < 16; ++r)
+    for (uint32_t c = 0; c < 16; ++c)
+      in[r * 16 + c] =
+          Fixed32::from_float(amp * (2.0f + std::sin(fx * r) * std::cos(fy * c)));
+  const auto avg = downsample::compress_2d(in);
+  Block out;
+  downsample::reconstruct_2d(avg, out);
+  // Smooth fields (wavelength >> tile): the reconstruction error is bounded
+  // by the edge-clamp slope (~2 samples of gradient) plus curvature.
+  const float bound = amp * (2.5f * std::max(fx, fy) + 0.02f);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    EXPECT_NEAR(out[i].to_float(), in[i].to_float(), bound) << i;
+}
+
+TEST_P(DownsampleProperty, ReconstructIdempotentUnderRecompression) {
+  // compress(reconstruct(compress(x))) == compress(reconstruct(...)) up to
+  // an LSB: recompression of already-reconstructed data must not drift.
+  Xoshiro256 rng(GetParam() * 31);
+  Block in;
+  for (auto& x : in) x = Fixed32::from_float(static_cast<float>(rng.uniform(-10, 10)));
+  auto avg1 = downsample::compress_1d(in);
+  Block rec1;
+  downsample::reconstruct_1d(avg1, rec1);
+  auto avg2 = downsample::compress_1d(
+      std::span<const Fixed32, kValuesPerBlock>(rec1));
+  Block rec2;
+  downsample::reconstruct_1d(avg2, rec2);
+  auto avg3 = downsample::compress_1d(
+      std::span<const Fixed32, kValuesPerBlock>(rec2));
+  // Downsample-then-interpolate is a convex (max-norm non-expansive)
+  // operator: successive recompressions must contract, never amplify.
+  float d12 = 0, d23 = 0;
+  for (uint32_t k = 0; k < 16; ++k) {
+    d12 = std::max(d12, std::abs(avg2[k].to_float() - avg1[k].to_float()));
+    d23 = std::max(d23, std::abs(avg3[k].to_float() - avg2[k].to_float()));
+  }
+  EXPECT_LE(d23, d12 + 16.0f / Fixed32::kOne);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DownsampleProperty,
+                         ::testing::Values(1, 7, 42, 99, 1234, 5150));
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,83 @@
+#include "energy/energy_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace avr {
+namespace {
+
+TEST(Energy, ZeroEventsZeroEnergy) {
+  EXPECT_DOUBLE_EQ(compute_energy(EnergyEvents{}).total(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleLinearly) {
+  EnergyEvents e;
+  e.instructions = 1000;
+  e.cycles = 500;
+  const EnergyBreakdown b1 = compute_energy(e);
+  e.instructions = 2000;
+  e.cycles = 1000;
+  const EnergyBreakdown b2 = compute_energy(e);
+  EXPECT_DOUBLE_EQ(b2.core, 2 * b1.core);
+}
+
+TEST(Energy, CompressorOnlyWhenPresent) {
+  EnergyEvents e;
+  e.cycles = 1000;
+  e.compressions = 10;
+  e.decompressions = 20;
+  e.has_compressor = false;
+  EXPECT_DOUBLE_EQ(compute_energy(e).compressor, 0.0);
+  e.has_compressor = true;
+  EXPECT_GT(compute_energy(e).compressor, 0.0);
+}
+
+TEST(Energy, DramComponentsCounted) {
+  EnergyEvents e;
+  e.dram_bytes = 1024;
+  e.dram_activations = 4;
+  const EnergyBreakdown b = compute_energy(e);
+  EnergyParams p;
+  EXPECT_DOUBLE_EQ(b.dram, 1024 * p.dram_per_byte + 4 * p.dram_per_activate);
+}
+
+TEST(Energy, TotalIsSumOfParts) {
+  EnergyEvents e;
+  e.instructions = 123;
+  e.cycles = 456;
+  e.l1_accesses = 78;
+  e.l2_accesses = 9;
+  e.llc_accesses = 10;
+  e.dram_bytes = 2048;
+  e.dram_activations = 3;
+  e.compressions = 1;
+  e.decompressions = 2;
+  e.has_compressor = true;
+  const EnergyBreakdown b = compute_energy(e);
+  EXPECT_DOUBLE_EQ(b.total(), b.core + b.l1l2 + b.llc + b.dram + b.compressor);
+  EXPECT_GT(b.core, 0.0);
+  EXPECT_GT(b.l1l2, 0.0);
+  EXPECT_GT(b.llc, 0.0);
+  EXPECT_GT(b.dram, 0.0);
+  EXPECT_GT(b.compressor, 0.0);
+}
+
+TEST(Energy, CoreDominatesTypicalMix) {
+  // Sanity of the constants against Fig. 10's shape: with a realistic event
+  // mix the core is the largest component.
+  EnergyEvents e;
+  e.instructions = 10'000'000;
+  e.cycles = 4'000'000;
+  e.l1_accesses = 3'000'000;
+  e.l2_accesses = 300'000;
+  e.llc_accesses = 100'000;
+  e.dram_bytes = 4'000'000;
+  e.dram_activations = 30'000;
+  const EnergyBreakdown b = compute_energy(e);
+  EXPECT_GT(b.core, b.dram);
+  EXPECT_GT(b.core, b.l1l2);
+  EXPECT_GT(b.core, b.llc);
+  EXPECT_GT(b.dram, b.l1l2);  // DRAM is the second-largest consumer
+}
+
+}  // namespace
+}  // namespace avr

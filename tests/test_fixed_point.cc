@@ -1,0 +1,113 @@
+#include "common/fixed_point.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+TEST(Fixed32, BasicConversion) {
+  EXPECT_EQ(Fixed32::from_float(1.0f).raw(), Fixed32::kOne);
+  EXPECT_EQ(Fixed32::from_float(-2.0f).raw(), -2 * Fixed32::kOne);
+  EXPECT_FLOAT_EQ(Fixed32::from_float(3.25f).to_float(), 3.25f);
+  EXPECT_FLOAT_EQ(Fixed32::from_float(-0.5f).to_float(), -0.5f);
+}
+
+TEST(Fixed32, QuantizationError) {
+  // Q16.16 resolves to 2^-16; conversion error is at most half an LSB.
+  for (float f : {0.1f, 1.0f / 3.0f, 2.71828f, -123.456f}) {
+    EXPECT_NEAR(Fixed32::from_float(f).to_float(), f, 0.5f / Fixed32::kOne) << f;
+  }
+}
+
+TEST(Fixed32, SaturatesOutOfRange) {
+  EXPECT_EQ(Fixed32::from_float(1e9f).raw(), std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(Fixed32::from_float(-1e9f).raw(), std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(Fixed32::from_float(std::numeric_limits<float>::quiet_NaN()).raw(), 0);
+}
+
+TEST(Fixed32, Arithmetic) {
+  const Fixed32 a = Fixed32::from_float(1.5f);
+  const Fixed32 b = Fixed32::from_float(0.25f);
+  EXPECT_FLOAT_EQ((a + b).to_float(), 1.75f);
+  EXPECT_FLOAT_EQ((a - b).to_float(), 1.25f);
+}
+
+TEST(Fixed32, AverageExact) {
+  std::array<Fixed32, 4> v = {Fixed32::from_float(1.0f), Fixed32::from_float(2.0f),
+                              Fixed32::from_float(3.0f), Fixed32::from_float(4.0f)};
+  EXPECT_FLOAT_EQ(Fixed32::average(v.begin(), v.end()).to_float(), 2.5f);
+}
+
+TEST(Fixed32, AverageOfEmptyRangeIsZero) {
+  std::array<Fixed32, 1> v{};
+  EXPECT_EQ(Fixed32::average(v.begin(), v.begin()).raw(), 0);
+}
+
+TEST(Fixed32, AverageRoundsToNearest) {
+  // Average of {0, 1 LSB} should round to nearest, i.e. 1 (half away).
+  std::array<Fixed32, 2> v = {Fixed32::from_raw(0), Fixed32::from_raw(1)};
+  EXPECT_EQ(Fixed32::average(v.begin(), v.end()).raw(), 1);
+  // Symmetric for negative values.
+  std::array<Fixed32, 2> w = {Fixed32::from_raw(0), Fixed32::from_raw(-1)};
+  EXPECT_EQ(Fixed32::average(w.begin(), w.end()).raw(), -1);
+}
+
+TEST(Fixed32, LerpEndpoints) {
+  const Fixed32 a = Fixed32::from_float(2.0f);
+  const Fixed32 b = Fixed32::from_float(6.0f);
+  EXPECT_EQ(Fixed32::lerp(a, b, 0, 8).raw(), a.raw());
+  EXPECT_EQ(Fixed32::lerp(a, b, 8, 8).raw(), b.raw());
+  EXPECT_FLOAT_EQ(Fixed32::lerp(a, b, 4, 8).to_float(), 4.0f);
+}
+
+TEST(Fixed32, LerpMonotone) {
+  const Fixed32 a = Fixed32::from_float(-3.0f);
+  const Fixed32 b = Fixed32::from_float(9.0f);
+  int32_t prev = Fixed32::lerp(a, b, 0, 32).raw();
+  for (int w = 1; w <= 32; ++w) {
+    const int32_t cur = Fixed32::lerp(a, b, w, 32).raw();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+class AverageProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AverageProperty, AverageWithinMinMax) {
+  Xoshiro256 rng(GetParam());
+  std::array<Fixed32, 16> v;
+  int32_t lo = std::numeric_limits<int32_t>::max();
+  int32_t hi = std::numeric_limits<int32_t>::min();
+  for (auto& x : v) {
+    x = Fixed32::from_float(static_cast<float>(rng.uniform(-1000.0, 1000.0)));
+    lo = std::min(lo, x.raw());
+    hi = std::max(hi, x.raw());
+  }
+  const Fixed32 avg = Fixed32::average(v.begin(), v.end());
+  EXPECT_GE(avg.raw(), lo);
+  EXPECT_LE(avg.raw(), hi);
+}
+
+TEST_P(AverageProperty, AverageMatchesDoubleWithinLsb) {
+  Xoshiro256 rng(GetParam() * 977);
+  std::array<Fixed32, 16> v;
+  double sum = 0;
+  for (auto& x : v) {
+    x = Fixed32::from_float(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    sum += x.to_double();
+  }
+  EXPECT_NEAR(Fixed32::average(v.begin(), v.end()).to_double(), sum / 16.0,
+              1.0 / Fixed32::kOne);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AverageProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,90 @@
+#include "common/fp_bits.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace avr {
+namespace {
+
+TEST(FpBits, FieldExtraction) {
+  EXPECT_EQ(f32_sign(1.0f), 0u);
+  EXPECT_EQ(f32_sign(-1.0f), 1u);
+  EXPECT_EQ(f32_exponent(1.0f), 127u);
+  EXPECT_EQ(f32_exponent(2.0f), 128u);
+  EXPECT_EQ(f32_exponent(0.5f), 126u);
+  EXPECT_EQ(f32_mantissa(1.0f), 0u);
+  EXPECT_EQ(f32_mantissa(1.5f), 1u << 22);
+}
+
+TEST(FpBits, AssembleRoundTrip) {
+  for (float f : {1.0f, -2.5f, 3.14159f, 1e-20f, 6.02e23f, -0.0f}) {
+    EXPECT_EQ(f32_assemble(f32_sign(f), f32_exponent(f), f32_mantissa(f)), f)
+        << f;
+  }
+}
+
+TEST(FpBits, ZeroAndDenormal) {
+  EXPECT_TRUE(f32_is_zero_or_denormal(0.0f));
+  EXPECT_TRUE(f32_is_zero_or_denormal(-0.0f));
+  EXPECT_TRUE(f32_is_zero_or_denormal(std::numeric_limits<float>::denorm_min()));
+  EXPECT_FALSE(f32_is_zero_or_denormal(1e-30f));
+}
+
+TEST(FpBits, FiniteChecks) {
+  EXPECT_TRUE(f32_is_finite(1.0f));
+  EXPECT_TRUE(f32_is_finite(std::numeric_limits<float>::max()));
+  EXPECT_FALSE(f32_is_finite(std::numeric_limits<float>::infinity()));
+  EXPECT_FALSE(f32_is_finite(std::numeric_limits<float>::quiet_NaN()));
+}
+
+TEST(FpBits, ScaleExponentMultipliesByPowerOfTwo) {
+  EXPECT_FLOAT_EQ(f32_scale_exponent(3.0f, 1), 6.0f);
+  EXPECT_FLOAT_EQ(f32_scale_exponent(3.0f, -2), 0.75f);
+  EXPECT_FLOAT_EQ(f32_scale_exponent(-1.5f, 3), -12.0f);
+}
+
+TEST(FpBits, ScaleExponentLeavesZeroAlone) {
+  EXPECT_EQ(f32_bits(f32_scale_exponent(0.0f, 5)), f32_bits(0.0f));
+  EXPECT_EQ(f32_bits(f32_scale_exponent(-0.0f, 5)), f32_bits(-0.0f));
+}
+
+TEST(FpBits, TruncateLowBits) {
+  const float f = 1.23456789f;
+  const float t = f32_truncate_low_bits(f, 16);
+  EXPECT_EQ(f32_bits(t) & 0xFFFF, 0u);
+  EXPECT_EQ(f32_sign(t), f32_sign(f));
+  EXPECT_EQ(f32_exponent(t), f32_exponent(f));
+  // Truncation moves toward zero by less than 2^-7 relative.
+  EXPECT_LE(std::abs(t), std::abs(f));
+  EXPECT_NEAR(t, f, std::abs(f) / 128.0f);
+}
+
+TEST(FpBits, TruncatePreservesNonFinite) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f32_bits(f32_truncate_low_bits(inf, 16)), f32_bits(inf));
+}
+
+TEST(FpBits, RelativeError) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 0.0), 1.0);  // vs tiny: saturates
+}
+
+class TruncateSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruncateSweep, ErrorBoundedByBitPosition) {
+  const unsigned n = GetParam();
+  for (float f : {0.001f, 0.9f, 123.456f, 7e8f, -55.5f}) {
+    const float t = f32_truncate_low_bits(f, n);
+    // Dropping n low mantissa bits changes the value by < 2^(n-23) relative.
+    EXPECT_LE(relative_error(t, f), std::ldexp(1.0, static_cast<int>(n) - 23))
+        << "n=" << n << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, TruncateSweep, ::testing::Values(1u, 4u, 8u, 12u, 16u, 20u));
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,56 @@
+// Multi-core plumbing: per-core private caches, shared LLC, cycle reporting
+// as the max over cores.
+#include <gtest/gtest.h>
+
+#include "runtime/system.hh"
+
+namespace avr {
+namespace {
+
+SimConfig cfg() {
+  SimConfig c;
+  c.scale_caches(64);
+  return c;
+}
+
+TEST(Multicore, CoresHavePrivateL1s) {
+  System sys(Design::kBaseline, cfg(), /*num_cores=*/2);
+  const uint64_t a = sys.alloc("x", kBlockBytes, false);
+  sys.use_core(0);
+  sys.load_f32(a);  // miss everywhere, fills core 0's L1
+  sys.load_f32(a);  // L1 hit on core 0
+  sys.use_core(1);
+  sys.load_f32(a);  // misses core 1's L1, hits the shared LLC
+  EXPECT_EQ(sys.hierarchy().l1(0).counters().hits, 1u);
+  EXPECT_EQ(sys.hierarchy().l1(1).counters().hits, 0u);
+  EXPECT_EQ(sys.hierarchy().llc_requests(), 2u);
+  EXPECT_EQ(sys.hierarchy().llc_misses(), 1u) << "second core hits shared LLC";
+}
+
+TEST(Multicore, SharedLlcServesBothCores) {
+  System sys(Design::kAvr, cfg(), 2);
+  const uint64_t a = sys.alloc("x", 4 * kBlockBytes, true);
+  sys.use_core(0);
+  for (int i = 0; i < 64; ++i) sys.store_f32(a + i * 4, 1.0f + i);
+  sys.use_core(1);
+  for (int i = 0; i < 64; ++i) sys.load_f32(a + i * 4);
+  sys.finish();
+  EXPECT_GT(sys.core(0).instructions(), 0u);
+  EXPECT_GT(sys.core(1).instructions(), 0u);
+  const RunMetrics m = sys.metrics();
+  EXPECT_EQ(m.instructions,
+            sys.core(0).instructions() + sys.core(1).instructions());
+  EXPECT_GE(m.cycles, std::max(sys.core(0).cycles(), sys.core(1).cycles()));
+}
+
+TEST(Multicore, UseCoreOutOfRangeFallsBackToZero) {
+  System sys(Design::kBaseline, cfg(), 2);
+  const uint64_t a = sys.alloc("x", kBlockBytes, false);
+  sys.use_core(99);  // clamps to core 0
+  sys.load_f32(a);
+  EXPECT_EQ(sys.core(0).instructions(),
+            1u + cfg().ops_per_access);
+}
+
+}  // namespace
+}  // namespace avr

@@ -1,0 +1,94 @@
+#include "runtime/region.hh"
+
+#include <gtest/gtest.h>
+
+namespace avr {
+namespace {
+
+TEST(RegionRegistry, AllocationIsBlockAligned) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", 100, true);
+  EXPECT_EQ(a % kBlockBytes, 0u);
+  const MemoryRegion* reg = r.find(a);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->bytes % kBlockBytes, 0u);
+  EXPECT_GE(reg->bytes, 100u);
+}
+
+TEST(RegionRegistry, RejectsEmpty) {
+  RegionRegistry r;
+  EXPECT_THROW(r.allocate("x", 0, false), std::invalid_argument);
+}
+
+TEST(RegionRegistry, FindResolvesInteriorAndRejectsOutside) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", 4 * kBlockBytes, true);
+  const uint64_t b = r.allocate("b", kBlockBytes, false);
+  EXPECT_EQ(r.find(a + 4095)->name, "a");
+  EXPECT_EQ(r.find(b)->name, "b");
+  EXPECT_EQ(r.find(a - 1), nullptr);
+  EXPECT_EQ(r.find(b + kBlockBytes), nullptr);
+}
+
+TEST(RegionRegistry, ApproxFlag) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", 64, true);
+  const uint64_t b = r.allocate("b", 64, false);
+  EXPECT_TRUE(r.is_approx(a));
+  EXPECT_FALSE(r.is_approx(b));
+  EXPECT_FALSE(r.is_approx(0));
+}
+
+TEST(RegionRegistry, LoadStoreRoundTrip) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", kBlockBytes, true);
+  r.store<float>(a + 8, 3.5f);
+  EXPECT_FLOAT_EQ(r.load<float>(a + 8), 3.5f);
+  r.store<uint32_t>(a, 0xDEADBEEF);
+  EXPECT_EQ(r.load<uint32_t>(a), 0xDEADBEEFu);
+}
+
+TEST(RegionRegistry, HostPtrThrowsOnUnmapped) {
+  RegionRegistry r;
+  EXPECT_THROW(r.host_ptr(0x123), std::out_of_range);
+}
+
+TEST(RegionRegistry, BlockValuesViewsWholeBlockInPlace) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", 2 * kBlockBytes, true);
+  auto span = r.block_values(a + 300);  // any addr inside block 0
+  ASSERT_EQ(span.size(), kValuesPerBlock);
+  span[0] = 42.0f;
+  span[255] = -1.0f;
+  EXPECT_FLOAT_EQ(r.load<float>(a), 42.0f);
+  EXPECT_FLOAT_EQ(r.load<float>(a + 255 * 4), -1.0f);
+}
+
+TEST(RegionRegistry, RegionsDoNotOverlapAndBlocksDoNotStraddle) {
+  RegionRegistry r;
+  uint64_t prev_end = 0;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t a = r.allocate("r" + std::to_string(i), 1000 + i * 333, i % 2);
+    const MemoryRegion* reg = r.find(a);
+    EXPECT_GE(a, prev_end);
+    prev_end = a + reg->bytes;
+  }
+}
+
+TEST(RegionRegistry, FootprintAccounting) {
+  RegionRegistry r;
+  r.allocate("a", kBlockBytes, true);
+  r.allocate("b", 3 * kBlockBytes, false);
+  EXPECT_EQ(r.total_bytes(), 4 * kBlockBytes);
+  EXPECT_EQ(r.approx_bytes(), kBlockBytes);
+}
+
+TEST(RegionRegistry, ZeroInitialized) {
+  RegionRegistry r;
+  const uint64_t a = r.allocate("a", kBlockBytes, true);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    EXPECT_EQ(r.load<float>(a + i * 4), 0.0f);
+}
+
+}  // namespace
+}  // namespace avr

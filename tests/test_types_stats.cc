@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace avr {
+namespace {
+
+TEST(Types, AddressHelpers) {
+  EXPECT_EQ(line_addr(0x12345), 0x12340u);
+  EXPECT_EQ(block_addr(0x12345), 0x12000u);
+  EXPECT_EQ(page_addr(0x12345), 0x12000u);
+  EXPECT_EQ(page_addr(0x13FFF), 0x13000u);
+  EXPECT_EQ(line_in_block(0x12000), 0u);
+  EXPECT_EQ(line_in_block(0x12040), 1u);
+  EXPECT_EQ(line_in_block(0x123C0), 15u);
+}
+
+TEST(Types, Constants) {
+  EXPECT_EQ(kBlockBytes, 1024u);
+  EXPECT_EQ(kValuesPerBlock, 256u);
+  EXPECT_EQ(kBlocksPerPage, 4u);
+  EXPECT_EQ(kMaxCompressedLines, 8u);
+}
+
+TEST(Types, Names) {
+  EXPECT_STREQ(to_string(Design::kAvr), "AVR");
+  EXPECT_STREQ(to_string(Design::kZeroAvr), "ZeroAVR");
+  EXPECT_STREQ(to_string(Design::kDoppelganger), "dganger");
+  EXPECT_STREQ(to_string(Method::kDownsample2D), "ds2d");
+  EXPECT_STREQ(to_string(DType::kFloat32), "float32");
+}
+
+TEST(StatGroup, CountersAccumulate) {
+  StatGroup g("t");
+  g.add("x");
+  g.add("x", 4);
+  g.add_f("y", 0.5);
+  g.add_f("y", 0.25);
+  EXPECT_EQ(g.get("x"), 5u);
+  EXPECT_DOUBLE_EQ(g.get_f("y"), 0.75);
+  EXPECT_EQ(g.get("missing"), 0u);
+  EXPECT_DOUBLE_EQ(g.get_f("missing"), 0.0);
+}
+
+TEST(StatGroup, SetOverwrites) {
+  StatGroup g("t");
+  g.add("x", 10);
+  g.set("x", 3);
+  EXPECT_EQ(g.get("x"), 3u);
+}
+
+TEST(StatGroup, ResetAndToString) {
+  StatGroup g("grp");
+  g.add("a", 2);
+  EXPECT_NE(g.to_string().find("grp"), std::string::npos);
+  EXPECT_NE(g.to_string().find("a = 2"), std::string::npos);
+  g.reset();
+  EXPECT_EQ(g.get("a"), 0u);
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  a.add(1.0);
+  a.add(3.0);
+  a.add(-2.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 2.0);
+  EXPECT_NEAR(a.mean(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace avr
