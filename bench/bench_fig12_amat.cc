@@ -4,6 +4,8 @@
 int main() {
   using namespace avr;
   ExperimentRunner r;
+  // Warm every point concurrently; printing below is then pure cache lookup.
+  r.run_all(workload_names(), ExperimentRunner::paper_designs());
   print_normalized_table(r, "Fig. 12: AMAT", workload_names(),
                          {Design::kDoppelganger, Design::kTruncate,
                           Design::kZeroAvr, Design::kAvr},

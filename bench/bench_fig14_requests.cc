@@ -7,6 +7,8 @@
 int main() {
   using namespace avr;
   ExperimentRunner r;
+  // Warm the AVR points concurrently; printing below is then pure cache lookup.
+  r.run_all(workload_names(), {Design::kAvr});
   std::printf("Fig. 14: AVR LLC requests on approximate cachelines (%%)\n");
   std::printf("%-10s %9s %9s %9s %9s\n", "workload", "miss", "uncomp", "dbuf",
               "compr");

@@ -7,6 +7,8 @@
 int main() {
   using namespace avr;
   ExperimentRunner r;
+  // Warm the AVR points concurrently; printing below is then pure cache lookup.
+  r.run_all(workload_names(), {Design::kAvr});
   std::printf("Fig. 15: AVR LLC evictions of approximate cachelines (%%)\n");
   std::printf("%-10s %10s %10s %12s %10s\n", "workload", "recompr", "lazy",
               "fetch+rec", "uncomp");

@@ -10,6 +10,8 @@ int main() {
   using namespace avr;
   ExperimentRunner r;
   const auto wls = workload_names();
+  // Warm the AVR points concurrently; printing below is then pure cache lookup.
+  r.run_all(wls, {Design::kAvr});
   std::printf("Table 4: AVR compression ratio and footprint\n");
   std::printf("%-14s", "metric");
   for (const auto& w : wls) std::printf(" %9s", w.c_str());

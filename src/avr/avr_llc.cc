@@ -62,6 +62,18 @@ uint32_t AvrLlc::ensure_tag(uint64_t block, std::vector<LlcVictim>& out) {
   return victim;
 }
 
+AvrLlc::TagEntry& AvrLlc::revive_tag(uint32_t set, uint32_t way, uint64_t block) {
+  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
+  if (!t.valid) {
+    // The way is still ours: nothing allocates tag ways between ensure_tag
+    // and the caller, maybe_free_tag only clears `valid`.
+    t = TagEntry{};
+    t.valid = true;
+    t.block_tag = block_tag(block);
+  }
+  return t;
+}
+
 void AvrLlc::maybe_free_tag(uint32_t set, uint32_t way) {
   TagEntry& t = tags_[uint64_t{set} * ways_ + way];
   if (t.valid && t.cms == 0 && t.ucl == 0) t.valid = false;
@@ -204,7 +216,10 @@ void AvrLlc::ucl_insert(uint64_t line, bool dirty, std::vector<LlcVictim>& out) 
   e.tag_set = tset;
   e.tag_way = tway;
   e.lru = ++lru_clock_;
-  TagEntry& t = tags_[uint64_t{tset} * ways_ + tway];
+  // make_room may have collaterally freed this tag: the block's own CMS
+  // image can live in this UCL set, and its eviction leaves the tag with
+  // cms == 0 && ucl == 0.
+  TagEntry& t = revive_tag(tset, tway, block);
   t.ucl++;
   t.lru = lru_clock_;
   stats_.add("ucl_fills");
@@ -287,10 +302,9 @@ void AvrLlc::cms_insert(uint64_t block, uint32_t count, bool dirty,
     e.tag_way = tway;
     e.lru = ++lru_clock_;
   }
-  TagEntry& t = tags_[uint64_t{tset} * ways_ + tway];
-  // make_room may have evicted this very block's image as collateral if the
-  // sets were full of its own lines; re-find to stay safe.
-  assert(t.valid);
+  // make_room may have collaterally freed this very tag: evicting the block's
+  // last UCL while cms is still 0 makes maybe_free_tag clear it.
+  TagEntry& t = revive_tag(tset, tway, block);
   t.cms = count;
   t.block_dirty = dirty;
   t.lru = ++lru_clock_;

@@ -114,6 +114,10 @@ class AvrLlc {
   /// Find-or-allocate the tag entry; allocation may evict a victim tag and
   /// therefore all of its resident lines (appended to `out`).
   uint32_t ensure_tag(uint64_t block, std::vector<LlcVictim>& out);
+  /// Re-validate the tag at (set, way) in place if make_room collaterally
+  /// freed it after ensure_tag (its last resident entry was evicted while
+  /// the caller's insert was still in flight). Returns the tag entry.
+  TagEntry& revive_tag(uint32_t set, uint32_t way, uint64_t block);
   void maybe_free_tag(uint32_t set, uint32_t way);
   /// Evict everything belonging to the tag at (set, way).
   void evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out);

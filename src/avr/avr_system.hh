@@ -38,6 +38,8 @@ class AvrSystem : public LlcSystem {
   Dram& dram() override { return dram_; }
   const Dram& dram() const override { return dram_; }
 
+  /// Component access for tests/benches: metadata table, decoupled LLC and
+  /// the (stateless) compressor instance this subsystem drives.
   const Cmt& cmt() const { return cmt_; }
   Cmt& cmt() { return cmt_; }
   const AvrLlc& llc() const { return llc_; }

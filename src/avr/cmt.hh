@@ -47,7 +47,8 @@ class Cmt {
   /// Models the on-chip lookup: counts a metadata-traffic miss when the
   /// page's entries are not cached.
   BlockMeta& lookup(uint64_t addr);
-  const BlockMeta* peek(uint64_t addr) const;  // no side effects
+  /// Side-effect-free lookup: nullptr when the block was never touched.
+  const BlockMeta* peek(uint64_t addr) const;
 
   /// Record which cacheline indices of a block currently sit in its lazy
   /// region in memory (the block image stores them; we track identity so a

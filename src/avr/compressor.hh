@@ -19,6 +19,8 @@
 
 namespace avr {
 
+/// A successful compression: the encoded block plus the quality the error
+/// check measured (compress() returns the best passing attempt).
 struct CompressionAttempt {
   CompressedBlock block;
   double avg_error = 0.0;  // mean mantissa-relative error of non-outliers

@@ -17,9 +17,12 @@ namespace avr {
 
 class Dbuf {
  public:
+  /// Is a decompressed block currently buffered?
   bool valid() const { return valid_; }
+  /// Block address of the buffered block (meaningful only when valid()).
   uint64_t block() const { return block_; }
 
+  /// Does the buffer hold the block containing `addr`?
   bool holds(uint64_t addr) const { return valid_ && block_addr(addr) == block_; }
 
   /// Record an explicit request served from the buffer.
@@ -27,6 +30,8 @@ class Dbuf {
   /// Record that a line was copied into the LLC (so the PFE skips it).
   void mark_in_llc(uint64_t line) { in_llc_ |= mask_of(line); }
 
+  /// How many distinct lines were explicitly requested since the refill
+  /// (the PFE's promotion criterion input).
   uint32_t requested_count() const { return std::popcount(requested_); }
   /// Lines the PFE would promote: buffered, not yet in the LLC.
   uint16_t promotable_mask() const { return static_cast<uint16_t>(~in_llc_); }
@@ -39,6 +44,7 @@ class Dbuf {
     requested_ = 0;
     in_llc_ = 0;
   }
+  /// Drop the buffered block (e.g. its backing block was recompressed).
   void invalidate() { valid_ = false; }
 
  private:

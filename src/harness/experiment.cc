@@ -1,10 +1,14 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "workloads/workload_registry.hh"
 
@@ -101,37 +105,103 @@ SimConfig ExperimentRunner::config_for(const Workload& wl) const {
 }
 
 const std::vector<double>& ExperimentRunner::golden(const std::string& name) {
-  auto it = golden_.find(name);
-  if (it != golden_.end()) return it->second;
-  auto wl = make_workload(name);
-  System sys(Design::kBaseline, config_for(*wl), 1, /*timing=*/false);
-  wl->run(sys);
-  return golden_[name] = wl->output(sys);
+  // One golden run per workload even when several design points of the same
+  // workload start concurrently: the per-workload once_flag makes every other
+  // thread wait for (not duplicate) the computation.
+  std::once_flag* flag;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    flag = &golden_once_[name];
+  }
+  std::call_once(*flag, [&] {
+    auto wl = make_workload(name);
+    System sys(Design::kBaseline, config_for(*wl), 1, /*timing=*/false);
+    wl->run(sys);
+    std::vector<double> out = wl->output(sys);
+    std::lock_guard<std::mutex> lk(mu_);
+    golden_[name] = std::move(out);
+  });
+  std::lock_guard<std::mutex> lk(mu_);
+  return golden_.at(name);
 }
 
 const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d) {
   const auto key = std::make_pair(name, d);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  // Per-point once_flag: concurrent callers of the same uncached point wait
+  // for one simulation instead of each running a duplicate. A throwing run
+  // leaves the flag unset, so a later call retries.
+  std::once_flag* flag;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    flag = &run_once_[key];
+  }
+  std::call_once(*flag, [&] {
+    if (verbose_)
+      std::fprintf(stderr, "[run] %-8s x %-8s ...\n", name.c_str(), to_string(d));
 
-  if (verbose_)
-    std::fprintf(stderr, "[run] %-8s x %-8s ...\n", name.c_str(), to_string(d));
+    auto wl = make_workload(name);
+    System sys(d, config_for(*wl));
+    wl->run(sys);
+    // Output is collected before the drain: it reflects the values the
+    // application observes at the end of execution (see DESIGN.md).
+    const std::vector<double> out = wl->output(sys);
+    sys.finish();
 
-  auto wl = make_workload(name);
-  System sys(d, config_for(*wl));
-  wl->run(sys);
-  // Output is collected before the drain: it reflects the values the
-  // application observes at the end of execution (see DESIGN.md).
-  const std::vector<double> out = wl->output(sys);
-  sys.finish();
+    ExperimentResult res;
+    res.workload = name;
+    res.design = d;
+    res.m = sys.metrics();
+    res.m.output_error = mean_relative_error(out, golden(name));
 
-  ExperimentResult res;
-  res.workload = name;
-  res.design = d;
-  res.m = sys.metrics();
-  res.m.output_error = mean_relative_error(out, golden(name));
-  append_disk_cache(res);
-  return cache_[key] = res;
+    std::lock_guard<std::mutex> lk(mu_);
+    append_disk_cache(res);
+    cache_.emplace(key, std::move(res));
+  });
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.at(key);
+}
+
+std::vector<ExperimentResult> ExperimentRunner::run_all(
+    const std::vector<std::string>& workloads, const std::vector<Design>& designs,
+    unsigned n_threads) {
+  std::vector<std::pair<std::string, Design>> points;
+  points.reserve(workloads.size() * designs.size());
+  for (const auto& w : workloads)
+    for (Design d : designs) points.emplace_back(w, d);
+
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  n_threads = std::max(1u, std::min<unsigned>(n_threads, points.size()));
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;  // don't start new points
+      try {
+        run(points[i].first, points[i].second);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads - 1);
+  for (unsigned t = 1; t < n_threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is part of the pool
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<ExperimentResult> out;
+  out.reserve(points.size());
+  for (const auto& [w, d] : points) out.push_back(run(w, d));
+  return out;
 }
 
 void print_normalized_table(

@@ -125,8 +125,11 @@ TEST(AvrLlc, CmsVictimDragsWholeBlockOut) {
   EXPECT_TRUE(contains_cms(v, block));
   EXPECT_FALSE(llc.cms_present(block));
   // The reported block eviction carries the dirty flag.
-  for (const auto& x : v)
-    if (x.kind == LlcVictim::kCmsBlock && x.addr == block) EXPECT_TRUE(x.dirty);
+  for (const auto& x : v) {
+    if (x.kind == LlcVictim::kCmsBlock && x.addr == block) {
+      EXPECT_TRUE(x.dirty);
+    }
+  }
   (void)evicted_rounds;
 }
 
