@@ -1,0 +1,69 @@
+// RAII advisory file lock: opens (creating if needed) `path` and takes a
+// blocking exclusive flock(2) on it. Used to serialize *processes* appending
+// to the shared result cache; threads within one process are serialized by
+// the runner's mutex, so the flock only ever blocks against other processes.
+//
+// flock is advisory: every writer must go through this helper. The lock is
+// released (and the fd closed) on destruction, including on exceptions.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace avr {
+
+class FileLock {
+ public:
+  /// Opens `path` with `oflags` (mode 0644 when creating) and blocks until
+  /// an exclusive flock is held. On failure `ok()` is false and no lock is
+  /// held; the caller decides whether that is fatal.
+  explicit FileLock(const std::string& path, int oflags = O_RDWR | O_CREAT) {
+    do {
+      fd_ = ::open(path.c_str(), oflags | O_CLOEXEC, 0644);
+    } while (fd_ < 0 && errno == EINTR);
+    if (fd_ < 0) return;
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~FileLock() { release(); }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  FileLock& operator=(FileLock&& o) noexcept {
+    if (this != &o) {
+      release();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Unlock early (also closes the fd). Idempotent.
+  void release() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace avr

@@ -2,23 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <fstream>
-#include <sstream>
+#include <numeric>
 #include <thread>
 
+#include "harness/result_cache.hh"
+#include "harness/sweep.hh"
 #include "workloads/workload_registry.hh"
 
 namespace avr {
 namespace {
 
-// Bump whenever results become incomparable (config or model changes).
-constexpr int kCacheVersion = 1;
-
-Design design_from_int(int v) { return static_cast<Design>(v); }
+/// Static cost heuristic, used for points with no persisted measurement:
+/// simulation time scales with the workload's footprint (tracked by its LLC
+/// size, which preserves the paper's footprint-to-LLC ratio) times how much
+/// work the design adds per access. Normalized to rough seconds so the
+/// values are comparable with measured wall_seconds.
+double design_cost_factor(Design d) {
+  switch (d) {
+    case Design::kBaseline: return 1.0;
+    case Design::kTruncate: return 1.1;
+    case Design::kZeroAvr: return 1.3;
+    case Design::kDoppelganger: return 1.6;
+    case Design::kAvr: return 2.0;
+  }
+  return 1.0;
+}
 
 }  // namespace
 
@@ -35,65 +48,11 @@ ExperimentRunner::ExperimentRunner(SimConfig base, bool verbose,
 
 void ExperimentRunner::load_disk_cache() {
   if (cache_path_.empty()) return;
-  std::ifstream in(cache_path_);
-  if (!in) return;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::istringstream ls(line);
-    std::string field;
-    std::vector<std::string> f;
-    while (std::getline(ls, field, ',')) f.push_back(field);
-    if (f.size() < 22 || f[0] != std::to_string(kCacheVersion)) continue;
-    ExperimentResult r;
-    size_t i = 1;
-    r.workload = f[i++];
-    r.design = design_from_int(std::stoi(f[i++]));
-    RunMetrics& m = r.m;
-    m.cycles = std::stoull(f[i++]);
-    m.instructions = std::stoull(f[i++]);
-    m.ipc = std::stod(f[i++]);
-    m.amat = std::stod(f[i++]);
-    m.llc_requests = std::stoull(f[i++]);
-    m.llc_misses = std::stoull(f[i++]);
-    m.llc_mpki = std::stod(f[i++]);
-    m.dram_bytes = std::stoull(f[i++]);
-    m.dram_bytes_approx = std::stoull(f[i++]);
-    m.dram_bytes_other = std::stoull(f[i++]);
-    m.metadata_bytes = std::stoull(f[i++]);
-    m.energy.core = std::stod(f[i++]);
-    m.energy.l1l2 = std::stod(f[i++]);
-    m.energy.llc = std::stod(f[i++]);
-    m.energy.dram = std::stod(f[i++]);
-    m.energy.compressor = std::stod(f[i++]);
-    m.compression_ratio = std::stod(f[i++]);
-    m.footprint_bytes = std::stoull(f[i++]);
-    m.approx_bytes = std::stoull(f[i++]);
-    m.output_error = std::stod(f[i++]);
-    while (i + 1 < f.size()) {
-      m.detail[f[i]] = std::stoull(f[i + 1]);
-      i += 2;
-    }
-    cache_[{r.workload, r.design}] = std::move(r);
-  }
+  auto loaded = load_result_cache(cache_path_);
+  for (auto& [key, r] : loaded) cache_[key] = std::move(r);
   if (verbose_ && !cache_.empty())
     std::fprintf(stderr, "[cache] loaded %zu results from %s\n", cache_.size(),
                  cache_path_.c_str());
-}
-
-void ExperimentRunner::append_disk_cache(const ExperimentResult& r) {
-  if (cache_path_.empty()) return;
-  std::ofstream out(cache_path_, std::ios::app);
-  const RunMetrics& m = r.m;
-  out << kCacheVersion << ',' << r.workload << ',' << static_cast<int>(r.design)
-      << ',' << m.cycles << ',' << m.instructions << ',' << m.ipc << ',' << m.amat
-      << ',' << m.llc_requests << ',' << m.llc_misses << ',' << m.llc_mpki << ','
-      << m.dram_bytes << ',' << m.dram_bytes_approx << ',' << m.dram_bytes_other
-      << ',' << m.metadata_bytes << ',' << m.energy.core << ',' << m.energy.l1l2
-      << ',' << m.energy.llc << ',' << m.energy.dram << ',' << m.energy.compressor
-      << ',' << m.compression_ratio << ',' << m.footprint_bytes << ','
-      << m.approx_bytes << ',' << m.output_error;
-  for (const auto& [k, v] : m.detail) out << ',' << k << ',' << v;
-  out << '\n';
 }
 
 SimConfig ExperimentRunner::config_for(const Workload& wl) const {
@@ -125,6 +84,28 @@ const std::vector<double>& ExperimentRunner::golden(const std::string& name) {
   return golden_.at(name);
 }
 
+bool ExperimentRunner::cached(const std::string& wl, Design d) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.count({wl, d}) != 0;
+}
+
+double ExperimentRunner::cost_estimate(const std::string& wl, Design d) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find({wl, d});
+    if (it != cache_.end() && it->second.wall_seconds > 0)
+      return it->second.wall_seconds;
+  }
+  uint64_t footprint = 64 * 1024;
+  try {
+    footprint = make_workload(wl)->llc_bytes();
+  } catch (const std::exception&) {
+    // Unknown workload: keep the default; run() will surface the error.
+  }
+  // ~8e4 footprint-bytes per simulated second (fit from the default sweep).
+  return static_cast<double>(footprint) * design_cost_factor(d) / 8e4;
+}
+
 const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d) {
   const auto key = std::make_pair(name, d);
   // Per-point once_flag: concurrent callers of the same uncached point wait
@@ -140,6 +121,7 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
   std::call_once(*flag, [&] {
     if (verbose_)
       std::fprintf(stderr, "[run] %-8s x %-8s ...\n", name.c_str(), to_string(d));
+    const auto t0 = std::chrono::steady_clock::now();
 
     auto wl = make_workload(name);
     System sys(d, config_for(*wl));
@@ -154,9 +136,19 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
     res.design = d;
     res.m = sys.metrics();
     res.m.output_error = mean_relative_error(out, golden(name));
+    res.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
+    // Append before taking mu_: the cross-process flock inside can block on
+    // another shard's writer, and stalling this process's other workers on
+    // mu_ for that would serialize point completion across processes.
+    if (!cache_path_.empty() && !append_result_line(cache_path_, res)) {
+      disk_write_failures_.fetch_add(1);
+      std::fprintf(stderr, "[cache] WARNING: could not append %s x %s to %s\n",
+                   name.c_str(), to_string(d), cache_path_.c_str());
+    }
     std::lock_guard<std::mutex> lk(mu_);
-    append_disk_cache(res);
     cache_.emplace(key, std::move(res));
   });
   std::lock_guard<std::mutex> lk(mu_);
@@ -166,23 +158,50 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
 std::vector<ExperimentResult> ExperimentRunner::run_all(
     const std::vector<std::string>& workloads, const std::vector<Design>& designs,
     unsigned n_threads) {
-  std::vector<std::pair<std::string, Design>> points;
-  points.reserve(workloads.size() * designs.size());
-  for (const auto& w : workloads)
-    for (Design d : designs) points.emplace_back(w, d);
+  // sweep::full_grid is the single definition of the canonical order the
+  // shard slicing partitions.
+  return run_points(sweep::full_grid(workloads, designs), n_threads);
+}
+
+std::vector<ExperimentResult> ExperimentRunner::run_points(
+    const std::vector<std::pair<std::string, Design>>& points,
+    unsigned n_threads) {
+  // Longest-first: the pool drains points in descending estimated cost, so a
+  // ~30x-cost outlier starts immediately instead of serializing the tail of
+  // the sweep. Already-cached points are skipped by the workers (run() on
+  // them is a pure lookup), so only fresh work is ordered and reported.
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> est(points.size());
+  std::vector<char> warm(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    est[i] = cost_estimate(points[i].first, points[i].second);
+    warm[i] = cached(points[i].first, points[i].second) ? 1 : 0;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return est[a] > est[b]; });
+  const size_t fresh_total = static_cast<size_t>(
+      std::count(warm.begin(), warm.end(), static_cast<char>(0)));
 
   if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
   n_threads = std::max(1u, std::min<unsigned>(n_threads, points.size()));
 
   std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
   std::atomic<bool> failed{false};
   std::mutex err_mu;
   std::exception_ptr first_error;
   auto worker = [&] {
-    for (size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
+    for (size_t i = next.fetch_add(1); i < order.size(); i = next.fetch_add(1)) {
       if (failed.load(std::memory_order_relaxed)) return;  // don't start new points
+      const auto& [w, d] = points[order[i]];
       try {
-        run(points[i].first, points[i].second);
+        const ExperimentResult& r = run(w, d);
+        if (!warm[order[i]] && verbose_) {
+          const size_t k = done.fetch_add(1) + 1;
+          std::fprintf(stderr, "[sweep %3zu/%zu] %-8s x %-8s %7.2fs\n", k,
+                       fresh_total, w.c_str(), to_string(d), r.wall_seconds);
+        }
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lk(err_mu);

@@ -3,10 +3,12 @@
 // tables (rows normalized to baseline where the paper normalizes).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -19,14 +21,21 @@ struct ExperimentResult {
   std::string workload;
   Design design = Design::kBaseline;
   RunMetrics m;
+  /// Wall-clock seconds the point took to simulate. Persisted in the disk
+  /// cache and fed back as the cost estimate for longest-first scheduling;
+  /// NOT part of the simulated result (shard caches produced on different
+  /// machines differ here while agreeing on every metric).
+  double wall_seconds = 0;
 };
 
 class ExperimentRunner {
  public:
   /// `cache_path`: optional CSV file persisting results across the figure
-  /// binaries (they all share one default-config sweep). Pass "" to disable
-  /// (required for ablations that alter the config). The environment
-  /// variable AVR_RESULT_CACHE overrides the default path.
+  /// binaries and sweep shards (they all share one default-config sweep).
+  /// Appends are safe against concurrent writer *processes* — see
+  /// harness/result_cache.hh for the format and locking contract. Pass ""
+  /// to disable (required for ablations that alter the config). The
+  /// environment variable AVR_RESULT_CACHE overrides the default path.
   explicit ExperimentRunner(SimConfig base = {}, bool verbose = true,
                             std::string cache_path = default_cache_path());
 
@@ -39,6 +48,10 @@ class ExperimentRunner {
   /// returned references stay valid for the runner's lifetime.
   const ExperimentResult& run(const std::string& wl, Design d);
 
+  /// True if the point is already in the in-memory cache (hit at
+  /// construction from disk, or simulated earlier in this process).
+  bool cached(const std::string& wl, Design d);
+
   /// Run the full (workload x design) sweep, independent points concurrently
   /// on a thread pool of `n_threads` (0 = hardware concurrency). Warms the
   /// same result cache `run()` uses, so subsequent table printing is pure
@@ -47,6 +60,21 @@ class ExperimentRunner {
   std::vector<ExperimentResult> run_all(const std::vector<std::string>& workloads,
                                         const std::vector<Design>& designs,
                                         unsigned n_threads = 0);
+
+  /// Run an arbitrary point list (e.g. one shard's slice of the grid) on the
+  /// pool. Uncached points are scheduled longest-first by cost_estimate() —
+  /// points vary ~30x in cost, so starting the expensive ones first keeps
+  /// the pool busy until the end of the sweep. Returns results in the given
+  /// order; duplicates are allowed (each point still simulates once).
+  std::vector<ExperimentResult> run_points(
+      const std::vector<std::pair<std::string, Design>>& points,
+      unsigned n_threads = 0);
+
+  /// Estimated cost of a point, in arbitrary but mutually comparable units.
+  /// A persisted wall_seconds measurement (loaded from the disk cache or
+  /// observed this process) wins; otherwise a static heuristic scales the
+  /// workload's footprint by a per-design factor.
+  double cost_estimate(const std::string& wl, Design d);
 
   /// All four comparison designs of Sec. 4 plus the baseline.
   static std::vector<Design> paper_designs() {
@@ -58,14 +86,21 @@ class ExperimentRunner {
   /// Per-workload config (cache hierarchy scaled per Workload::cache_scale).
   SimConfig config_for(const Workload& wl) const;
 
+  /// Number of results that could not be appended to the disk cache (disk
+  /// full, permissions, ...). Simulation carries on from the in-memory
+  /// cache — each failure warns on stderr — but a persistence-critical
+  /// caller (avr_sweep: the shard cache IS its output) must check this and
+  /// fail loudly.
+  size_t disk_write_failures() const { return disk_write_failures_.load(); }
+
  private:
   const std::vector<double>& golden(const std::string& wl);
   void load_disk_cache();
-  void append_disk_cache(const ExperimentResult& r);
 
   SimConfig base_;
   bool verbose_;
   std::string cache_path_;
+  std::atomic<size_t> disk_write_failures_{0};
   // mu_ guards golden_, golden_once_ and cache_. Both maps are node-based,
   // so references handed out stay valid across concurrent inserts; nothing
   // is ever erased.

@@ -1,0 +1,214 @@
+#include "harness/result_cache.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/file_lock.hh"
+
+namespace avr {
+namespace {
+
+// 24 fixed fields (through wall_seconds) before the variable detail pairs.
+constexpr size_t kFixedFields = 24;
+
+// Every record ends with this sentinel field. A line torn mid-append —
+// even one cut inside the final numeric token, which would otherwise parse
+// as a shorter valid number — loses it and is rejected wholesale. The '#'
+// keeps it disjoint from detail-counter key names.
+constexpr const char* kRecordEnd = "end#";
+
+void put(std::string& s, uint64_t v) { s += std::to_string(v); }
+
+void put(std::string& s, double v) {
+  char buf[64];
+  // max_digits10 for binary64: decode round-trips the exact bit pattern.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s += buf;
+}
+
+// Strict numeric parses: the whole field must be consumed and there is no
+// leading whitespace/sign, so corrupt fields like "12garbage" or "-1" (which
+// stoull would happily wrap to 2^64-1) are rejected, not misread. Every
+// numeric metric in a record is non-negative by construction.
+uint64_t to_u64(const std::string& f) {
+  if (f.empty() || !std::isdigit(static_cast<unsigned char>(f[0])))
+    throw std::invalid_argument("not a non-negative integer: " + f);
+  size_t pos = 0;
+  const uint64_t v = std::stoull(f, &pos);
+  if (pos != f.size()) throw std::invalid_argument("trailing junk: " + f);
+  return v;
+}
+
+int to_int(const std::string& f) {
+  const uint64_t v = to_u64(f);
+  if (v > static_cast<uint64_t>(std::numeric_limits<int>::max()))
+    throw std::out_of_range("int overflow: " + f);
+  return static_cast<int>(v);
+}
+
+double to_dbl(const std::string& f) {
+  if (f.empty() || std::isspace(static_cast<unsigned char>(f[0])) || f[0] == '-')
+    throw std::invalid_argument("not a non-negative number: " + f);
+  size_t pos = 0;
+  const double v = std::stod(f, &pos);
+  if (pos != f.size()) throw std::invalid_argument("trailing junk: " + f);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_result_line(const ExperimentResult& r) {
+  const RunMetrics& m = r.m;
+  std::string s = std::to_string(kResultCacheVersion);
+  s += ',';
+  s += r.workload;  // workload names are identifiers: no commas/newlines
+  s += ',';
+  put(s, static_cast<uint64_t>(r.design));
+  auto field = [&s](auto v) {
+    s += ',';
+    put(s, v);
+  };
+  field(m.cycles);
+  field(m.instructions);
+  field(m.ipc);
+  field(m.amat);
+  field(m.llc_requests);
+  field(m.llc_misses);
+  field(m.llc_mpki);
+  field(m.dram_bytes);
+  field(m.dram_bytes_approx);
+  field(m.dram_bytes_other);
+  field(m.metadata_bytes);
+  field(m.energy.core);
+  field(m.energy.l1l2);
+  field(m.energy.llc);
+  field(m.energy.dram);
+  field(m.energy.compressor);
+  field(m.compression_ratio);
+  field(m.footprint_bytes);
+  field(m.approx_bytes);
+  field(m.output_error);
+  field(r.wall_seconds);
+  for (const auto& [k, v] : m.detail) {
+    s += ',';
+    s += k;
+    s += ',';
+    put(s, v);
+  }
+  s += ',';
+  s += kRecordEnd;
+  return s;
+}
+
+bool decode_result_line(const std::string& line, ExperimentResult* out) {
+  if (line.empty()) return false;
+  std::istringstream ls(line);
+  std::string field;
+  std::vector<std::string> f;
+  while (std::getline(ls, field, ',')) f.push_back(field);
+  if (f.size() < kFixedFields + 1 ||
+      f[0] != std::to_string(kResultCacheVersion))
+    return false;
+  // The sentinel must close the record: a torn tail — even one ending in
+  // digits that happen to parse — cannot end with it.
+  if (f.back() != kRecordEnd || line.back() == ',') return false;
+  f.pop_back();
+  try {
+    ExperimentResult r;
+    size_t i = 1;
+    r.workload = f[i++];
+    r.design = static_cast<Design>(to_int(f[i++]));
+    RunMetrics& m = r.m;
+    m.cycles = to_u64(f[i++]);
+    m.instructions = to_u64(f[i++]);
+    m.ipc = to_dbl(f[i++]);
+    m.amat = to_dbl(f[i++]);
+    m.llc_requests = to_u64(f[i++]);
+    m.llc_misses = to_u64(f[i++]);
+    m.llc_mpki = to_dbl(f[i++]);
+    m.dram_bytes = to_u64(f[i++]);
+    m.dram_bytes_approx = to_u64(f[i++]);
+    m.dram_bytes_other = to_u64(f[i++]);
+    m.metadata_bytes = to_u64(f[i++]);
+    m.energy.core = to_dbl(f[i++]);
+    m.energy.l1l2 = to_dbl(f[i++]);
+    m.energy.llc = to_dbl(f[i++]);
+    m.energy.dram = to_dbl(f[i++]);
+    m.energy.compressor = to_dbl(f[i++]);
+    m.compression_ratio = to_dbl(f[i++]);
+    m.footprint_bytes = to_u64(f[i++]);
+    m.approx_bytes = to_u64(f[i++]);
+    m.output_error = to_dbl(f[i++]);
+    r.wall_seconds = to_dbl(f[i++]);
+    // A record cut inside the detail pairs would leave a dangling key; the
+    // sentinel already rejects it, but keep the parity check as defense.
+    if ((f.size() - i) % 2 != 0) return false;
+    while (i + 1 < f.size()) {
+      m.detail[f[i]] = to_u64(f[i + 1]);
+      i += 2;
+    }
+    *out = std::move(r);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // stoi/stoull/stod rejected a corrupt field
+  }
+}
+
+bool append_result_line(const std::string& path, const ExperimentResult& r) {
+  std::string line = encode_result_line(r) + '\n';
+  FileLock lock(path, O_RDWR | O_CREAT | O_APPEND);
+  if (!lock.ok()) return false;
+  // If a previous writer died mid-record (killed, ENOSPC) the file ends in
+  // a partial line; start ours on a fresh line so the torn record stays
+  // isolated (and rejected by decode) instead of swallowing this one.
+  struct stat st;
+  if (::fstat(lock.fd(), &st) != 0) return false;
+  if (st.st_size > 0) {
+    char last = '\n';
+    if (::pread(lock.fd(), &last, 1, st.st_size - 1) == 1 && last != '\n')
+      line.insert(line.begin(), '\n');
+  }
+  // One write() per record: with O_APPEND the kernel picks the offset
+  // atomically, and the flock guarantees no interleaving even for short
+  // writes — retry only ever continues our own record.
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(lock.fd(), line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Roll the file back to the pre-append size (the flock is still
+      // held), so our partial record cannot corrupt the next writer's.
+      if (::ftruncate(lock.fd(), st.st_size) != 0) {
+        // Rollback failed; leave the partial record on its own line for
+        // decode to reject.
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::map<ResultKey, ExperimentResult> load_result_cache(const std::string& path) {
+  std::map<ResultKey, ExperimentResult> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    ExperimentResult r;
+    if (!decode_result_line(line, &r)) continue;
+    ResultKey key{r.workload, r.design};
+    out[key] = std::move(r);
+  }
+  return out;
+}
+
+}  // namespace avr

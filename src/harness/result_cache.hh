@@ -1,0 +1,53 @@
+// On-disk result cache: one CSV line per completed (workload, design) point.
+//
+// File format (version 2), one record per line, no header:
+//
+//   version,workload,design,<19 metric fields>,output_error,wall_seconds
+//       [,detail_key,detail_value]...,end#
+//
+// The trailing "end#" sentinel closes every record: a line torn mid-append
+// is missing it and is rejected as a whole (a cut inside the final numeric
+// token would otherwise decode as a shorter, valid-looking number).
+//
+// Contract for concurrent *writer processes* (the sharded sweep):
+//   - a record is encoded to one string and appended with a single write(2)
+//     on an O_APPEND fd, under an exclusive flock(2) on the cache file —
+//     writers never interleave partial lines;
+//   - readers take no lock: load_result_cache() skips lines that are
+//     malformed, truncated (a reader racing the last append) or from another
+//     format version, and tolerates duplicate records (points are
+//     deterministic, so duplicates carry identical values; the last one
+//     wins). Merging shard caches is therefore plain concatenation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "harness/experiment.hh"
+
+namespace avr {
+
+/// Bump whenever results become incomparable (config or model changes);
+/// loads ignore records from any other version.
+inline constexpr int kResultCacheVersion = 2;
+
+using ResultKey = std::pair<std::string, Design>;
+
+/// One CSV record, no trailing newline. Doubles are written with
+/// max_digits10 precision so decode() round-trips them bit-exactly.
+std::string encode_result_line(const ExperimentResult& r);
+
+/// Parses one record. Returns false (leaving `*out` unspecified) for blank,
+/// malformed, truncated or wrong-version lines.
+bool decode_result_line(const std::string& line, ExperimentResult* out);
+
+/// Appends one record under the locking contract above. Returns false if the
+/// file could not be opened or the write failed (best-effort: the in-memory
+/// cache is the source of truth within a process).
+bool append_result_line(const std::string& path, const ExperimentResult& r);
+
+/// Loads every valid record; missing file yields an empty map.
+std::map<ResultKey, ExperimentResult> load_result_cache(const std::string& path);
+
+}  // namespace avr

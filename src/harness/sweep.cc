@@ -1,0 +1,102 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "harness/experiment.hh"
+#include "workloads/workload_registry.hh"
+
+namespace avr {
+namespace sweep {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Shard parse_shard(const std::string& spec) {
+  const size_t slash = spec.find('/');
+  Shard s;
+  try {
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size())
+      throw std::invalid_argument("");
+    size_t pos_i = 0, pos_n = 0;
+    const std::string is = spec.substr(0, slash), ns = spec.substr(slash + 1);
+    const int i = std::stoi(is, &pos_i);
+    const int n = std::stoi(ns, &pos_n);
+    if (pos_i != is.size() || pos_n != ns.size() || i < 0 || n <= 0 || i >= n)
+      throw std::invalid_argument("");
+    s.index = static_cast<unsigned>(i);
+    s.count = static_cast<unsigned>(n);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad shard spec '" + spec +
+                                "' (want i/N with 0 <= i < N)");
+  }
+  return s;
+}
+
+std::vector<Point> full_grid(const std::vector<std::string>& workloads,
+                             const std::vector<Design>& designs) {
+  std::vector<Point> grid;
+  grid.reserve(workloads.size() * designs.size());
+  for (const auto& w : workloads)
+    for (Design d : designs) grid.emplace_back(w, d);
+  return grid;
+}
+
+std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s) {
+  std::vector<Point> slice;
+  slice.reserve(grid.size() / s.count + 1);
+  for (size_t i = s.index; i < grid.size(); i += s.count) slice.push_back(grid[i]);
+  return slice;
+}
+
+Design design_from_name(const std::string& name) {
+  const std::string n = lower(name);
+  for (Design d : {Design::kBaseline, Design::kDoppelganger, Design::kTruncate,
+                   Design::kZeroAvr, Design::kAvr})
+    if (n == lower(to_string(d))) return d;
+  throw std::invalid_argument("unknown design: " + name);
+}
+
+std::vector<Design> parse_design_list(const std::string& csv) {
+  if (csv.empty()) return ExperimentRunner::paper_designs();
+  std::vector<Design> out;
+  for (const auto& name : split_csv(csv)) out.push_back(design_from_name(name));
+  if (out.empty()) throw std::invalid_argument("empty design list");
+  return out;
+}
+
+std::vector<std::string> parse_workload_list(const std::string& csv) {
+  if (csv.empty()) return workload_names();
+  const auto known = workload_names();
+  std::vector<std::string> out;
+  for (const auto& name : split_csv(csv)) {
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      throw std::invalid_argument("unknown workload: " + name);
+    out.push_back(name);
+  }
+  if (out.empty()) throw std::invalid_argument("empty workload list");
+  return out;
+}
+
+}  // namespace sweep
+}  // namespace avr

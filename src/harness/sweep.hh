@@ -1,0 +1,53 @@
+// Grid enumeration and shard slicing for the distributed paper sweep.
+//
+// The canonical grid order is workload-major, design-minor — the same order
+// run_all() returns. Shard i of N owns every grid point whose canonical
+// index ≡ i (mod N): slices are computed independently by each process from
+// nothing but the (workloads, designs, i, N) tuple, are pairwise disjoint,
+// and their union is exactly the full grid. Round-robin (rather than
+// contiguous ranges) spreads each workload's cheap and expensive designs
+// across shards, which keeps shard wall-clocks close even before the
+// longest-first scheduler kicks in.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace avr {
+namespace sweep {
+
+struct Shard {
+  unsigned index = 0;
+  unsigned count = 1;
+};
+
+using Point = std::pair<std::string, Design>;
+
+/// Parses "i/N" (e.g. "0/3"). Throws std::invalid_argument unless
+/// 0 <= i < N.
+Shard parse_shard(const std::string& spec);
+
+/// Full cross product in canonical (workload-major) order.
+std::vector<Point> full_grid(const std::vector<std::string>& workloads,
+                             const std::vector<Design>& designs);
+
+/// The points shard `s` owns, in canonical order.
+std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s);
+
+/// Parses one design name as printed by to_string(Design) —
+/// "baseline", "dganger", "truncate", "ZeroAVR", "AVR" — case-insensitively.
+/// Throws std::invalid_argument for unknown names.
+Design design_from_name(const std::string& name);
+
+/// Comma-separated design names; "" yields ExperimentRunner::paper_designs().
+std::vector<Design> parse_design_list(const std::string& csv);
+
+/// Comma-separated workload names, validated against the registry; "" yields
+/// workload_names(). Throws std::invalid_argument for unknown names.
+std::vector<std::string> parse_workload_list(const std::string& csv);
+
+}  // namespace sweep
+}  // namespace avr

@@ -1,0 +1,229 @@
+// avr_sweep: shardable command-line driver for the paper's (workload x
+// design) sweep. Each invocation owns one deterministic slice of the grid
+// and appends its results to a writer-safe CSV cache, so a full reproduction
+// splits across processes (or CI jobs) and the caches merge by
+// concatenation. See docs/ARCHITECTURE.md ("Sharded sweep").
+//
+//   avr_sweep --shard 1/3 --cache shard1.csv      run slice 1 of 3
+//   avr_sweep --check --cache merged.csv          assert full-grid coverage
+//   avr_sweep --assert-same other.csv --cache a.csv   compare two caches
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+#include "harness/sweep.hh"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: avr_sweep [options]
+
+Runs (a shard of) the full (workload x design) sweep and appends results to
+the shared CSV cache. Exits nonzero if any point fails.
+
+  --shard i/N        run grid points with canonical index == i (mod N)
+                     (default 0/1: the whole grid)
+  --jobs n           thread-pool size (default 0 = hardware concurrency)
+  --workloads a,b    comma-separated workload subset (default: all seven)
+  --designs x,y      comma-separated design subset, names as printed in the
+                     tables: baseline,dganger,truncate,ZeroAVR,AVR
+                     (default: all five)
+  --cache path       result cache file (default: avr_results_cache.csv or
+                     $AVR_RESULT_CACHE); "" disables persistence
+  --list             print this shard's points and exit (runs nothing)
+  --check            verify the cache already covers this shard's points;
+                     exit 1 listing any missing point (runs nothing)
+  --assert-same p    verify the cache and cache file `p` contain the same
+                     point set with identical metric values (wall-clock
+                     timing excluded); exit 1 on any difference (runs nothing)
+  --quiet            suppress per-point progress lines
+  --help             this text
+)";
+
+struct Options {
+  avr::sweep::Shard shard;
+  unsigned jobs = 0;
+  std::vector<std::string> workloads;
+  std::vector<avr::Design> designs;
+  std::string cache_path = avr::ExperimentRunner::default_cache_path();
+  std::string assert_same_path;
+  bool list = false;
+  bool check = false;
+  bool assert_same = false;
+  bool quiet = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  o.workloads = avr::workload_names();
+  o.designs = avr::ExperimentRunner::paper_designs();
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc)
+      throw std::invalid_argument(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--shard") {
+      o.shard = avr::sweep::parse_shard(value(i, "--shard"));
+    } else if (a == "--jobs") {
+      const std::string v = value(i, "--jobs");
+      size_t pos = 0;
+      const int jobs = std::stoi(v, &pos);
+      if (pos != v.size() || jobs < 0)
+        throw std::invalid_argument("bad --jobs value: " + v);
+      o.jobs = static_cast<unsigned>(jobs);
+    } else if (a == "--workloads") {
+      o.workloads = avr::sweep::parse_workload_list(value(i, "--workloads"));
+    } else if (a == "--designs") {
+      o.designs = avr::sweep::parse_design_list(value(i, "--designs"));
+    } else if (a == "--cache") {
+      o.cache_path = value(i, "--cache");
+    } else if (a == "--assert-same") {
+      o.assert_same = true;
+      o.assert_same_path = value(i, "--assert-same");
+    } else if (a == "--list") {
+      o.list = true;
+    } else if (a == "--check") {
+      o.check = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown flag: " + a);
+    }
+  }
+  return o;
+}
+
+/// Metric-value identity between two results: every simulated field, but not
+/// wall_seconds (machine-dependent by design). Encoded-line comparison keeps
+/// this in lockstep with the cache schema.
+bool same_metrics(avr::ExperimentResult a, avr::ExperimentResult b) {
+  a.wall_seconds = 0;
+  b.wall_seconds = 0;
+  return avr::encode_result_line(a) == avr::encode_result_line(b);
+}
+
+int check_coverage(const Options& o, const std::vector<avr::sweep::Point>& slice) {
+  const auto cache = avr::load_result_cache(o.cache_path);
+  size_t missing = 0;
+  for (const auto& p : slice) {
+    if (!cache.count(p)) {
+      std::fprintf(stderr, "missing: %s x %s\n", p.first.c_str(),
+                   avr::to_string(p.second));
+      ++missing;
+    }
+  }
+  if (missing) {
+    std::fprintf(stderr, "%s covers %zu/%zu points (%zu missing)\n",
+                 o.cache_path.c_str(), slice.size() - missing, slice.size(),
+                 missing);
+    return 1;
+  }
+  std::printf("%s covers all %zu points\n", o.cache_path.c_str(), slice.size());
+  return 0;
+}
+
+int check_same(const Options& o) {
+  const auto a = avr::load_result_cache(o.cache_path);
+  const auto b = avr::load_result_cache(o.assert_same_path);
+  // A missing or record-free file would make the comparison vacuously true —
+  // exactly what a path typo in a verification command must not do.
+  if (a.empty() || b.empty()) {
+    std::fprintf(stderr, "avr_sweep: no valid records in %s\n",
+                 a.empty() ? o.cache_path.c_str() : o.assert_same_path.c_str());
+    return 1;
+  }
+  size_t differences = 0;
+  for (const auto& [key, ra] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      std::fprintf(stderr, "only in %s: %s x %s\n", o.cache_path.c_str(),
+                   key.first.c_str(), avr::to_string(key.second));
+      ++differences;
+    } else if (!same_metrics(ra, it->second)) {
+      std::fprintf(stderr, "values differ: %s x %s\n", key.first.c_str(),
+                   avr::to_string(key.second));
+      ++differences;
+    }
+  }
+  for (const auto& [key, rb] : b) {
+    if (!a.count(key)) {
+      std::fprintf(stderr, "only in %s: %s x %s\n", o.assert_same_path.c_str(),
+                   key.first.c_str(), avr::to_string(key.second));
+      ++differences;
+    }
+  }
+  if (differences) {
+    std::fprintf(stderr, "%s and %s disagree on %zu point(s)\n",
+                 o.cache_path.c_str(), o.assert_same_path.c_str(), differences);
+    return 1;
+  }
+  std::printf("%s and %s agree on all %zu points\n", o.cache_path.c_str(),
+              o.assert_same_path.c_str(), a.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace avr;
+  Options o;
+  try {
+    o = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "avr_sweep: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+
+  const auto grid = sweep::full_grid(o.workloads, o.designs);
+  const auto slice = sweep::shard_slice(grid, o.shard);
+
+  if (o.list) {
+    for (const auto& [w, d] : slice)
+      std::printf("%s,%s\n", w.c_str(), to_string(d));
+    return 0;
+  }
+  if (o.check) return check_coverage(o, slice);
+  if (o.assert_same) return check_same(o);
+
+  ExperimentRunner runner({}, /*verbose=*/!o.quiet, o.cache_path);
+  size_t warm = 0;
+  for (const auto& [w, d] : slice)
+    if (runner.cached(w, d)) ++warm;
+
+  std::fprintf(stderr,
+               "[sweep] shard %u/%u: %zu of %zu grid points (%zu cached), "
+               "%u jobs, cache=%s\n",
+               o.shard.index, o.shard.count, slice.size(), grid.size(), warm,
+               o.jobs, o.cache_path.empty() ? "<disabled>" : o.cache_path.c_str());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    runner.run_points(slice, o.jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "avr_sweep: point failed: %s\n", e.what());
+    return 1;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // The shard cache IS this process's output: results that only exist in
+  // memory are lost when it exits, so persistence failures are fatal here
+  // (unlike in the figure benches, which still print their tables).
+  if (!o.cache_path.empty() && runner.disk_write_failures() > 0) {
+    std::fprintf(stderr, "avr_sweep: %zu result(s) could not be appended to %s\n",
+                 runner.disk_write_failures(), o.cache_path.c_str());
+    return 1;
+  }
+  std::printf("[sweep] shard %u/%u done: %zu points (%zu simulated) in %.1fs\n",
+              o.shard.index, o.shard.count, slice.size(), slice.size() - warm,
+              secs);
+  return 0;
+}

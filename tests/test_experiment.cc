@@ -27,17 +27,23 @@ TEST(ExperimentRunner, DiskCacheRoundTrip) {
   std::remove(path.c_str());
 
   RunMetrics written;
+  double written_wall = 0;
   {
     ExperimentRunner r({}, false, path);
+    EXPECT_FALSE(r.cached("kmeans", Design::kBaseline));
     // Smallest workload x cheapest design to keep this test quick.
     const ExperimentResult& res = r.run("kmeans", Design::kBaseline);
     written = res.m;
+    written_wall = res.wall_seconds;
     EXPECT_GT(written.cycles, 0u);
+    EXPECT_GT(written_wall, 0.0);
+    EXPECT_TRUE(r.cached("kmeans", Design::kBaseline));
   }
   {
     // A fresh runner must load the result instead of re-simulating; verify
     // by checking a few fields match bit-for-bit.
     ExperimentRunner r({}, false, path);
+    EXPECT_TRUE(r.cached("kmeans", Design::kBaseline));
     const ExperimentResult& res = r.run("kmeans", Design::kBaseline);
     EXPECT_EQ(res.m.cycles, written.cycles);
     EXPECT_EQ(res.m.instructions, written.instructions);
@@ -45,8 +51,43 @@ TEST(ExperimentRunner, DiskCacheRoundTrip) {
     EXPECT_EQ(res.m.llc_misses, written.llc_misses);
     EXPECT_DOUBLE_EQ(res.m.output_error, written.output_error);
     EXPECT_EQ(res.m.detail.at("requests"), written.detail.at("requests"));
+    // The wall-clock measurement is persisted too: it seeds the
+    // longest-first scheduler's cost estimate.
+    EXPECT_DOUBLE_EQ(res.wall_seconds, written_wall);
+    EXPECT_DOUBLE_EQ(r.cost_estimate("kmeans", Design::kBaseline), written_wall);
   }
   std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, CostEstimateHeuristicOrdersDesignsByWork) {
+  // With nothing cached the estimate falls back to the static heuristic:
+  // compression designs cost more than the baseline on the same workload,
+  // and a bigger-footprint workload costs more than a smaller one.
+  ExperimentRunner r({}, false, "");
+  EXPECT_GT(r.cost_estimate("kmeans", Design::kAvr),
+            r.cost_estimate("kmeans", Design::kBaseline));
+  auto big = make_workload("lbm");
+  auto small = make_workload("kmeans");
+  if (big->llc_bytes() > small->llc_bytes()) {
+    EXPECT_GT(r.cost_estimate("lbm", Design::kAvr),
+              r.cost_estimate("kmeans", Design::kAvr));
+  }
+}
+
+TEST(ExperimentRunner, RunPointsHandlesArbitrarySlicesAndDuplicates) {
+  ExperimentRunner r({}, false, "");
+  // A non-cross-product list with a duplicate — the shape a shard produces.
+  const std::vector<std::pair<std::string, Design>> points = {
+      {"kmeans", Design::kBaseline},
+      {"bscholes", Design::kTruncate},
+      {"kmeans", Design::kBaseline},
+  };
+  const auto got = r.run_points(points, 2);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].workload, "kmeans");
+  EXPECT_EQ(got[1].workload, "bscholes");
+  EXPECT_EQ(got[1].design, Design::kTruncate);
+  EXPECT_EQ(got[2].m.cycles, got[0].m.cycles);
 }
 
 TEST(ExperimentRunner, PaperDesignsList) {

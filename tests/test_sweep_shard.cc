@@ -1,0 +1,158 @@
+// Shard slicing tests: spec parsing, exact grid partitioning (union of N
+// shards == full grid, pairwise disjoint), and the end-to-end acceptance
+// path — N avr_sweep processes against one cache produce the same merged
+// cache as a single in-process sweep.
+#include "harness/sweep.hh"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_cache.hh"
+#include "workloads/workload_registry.hh"
+
+namespace avr {
+namespace {
+
+using sweep::Point;
+
+TEST(SweepShard, ParseShardAcceptsValidSpecs) {
+  const auto s = sweep::parse_shard("1/3");
+  EXPECT_EQ(s.index, 1u);
+  EXPECT_EQ(s.count, 3u);
+  const auto whole = sweep::parse_shard("0/1");
+  EXPECT_EQ(whole.index, 0u);
+  EXPECT_EQ(whole.count, 1u);
+}
+
+TEST(SweepShard, ParseShardRejectsBadSpecs) {
+  for (const char* bad :
+       {"", "3", "1/", "/3", "3/3", "4/3", "-1/3", "0/0", "0/-2", "a/b", "1/3x"})
+    EXPECT_THROW(sweep::parse_shard(bad), std::invalid_argument) << bad;
+}
+
+TEST(SweepShard, FullGridIsWorkloadMajor) {
+  const auto grid = sweep::full_grid({"a", "b"}, {Design::kBaseline, Design::kAvr});
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0], Point("a", Design::kBaseline));
+  EXPECT_EQ(grid[1], Point("a", Design::kAvr));
+  EXPECT_EQ(grid[2], Point("b", Design::kBaseline));
+  EXPECT_EQ(grid[3], Point("b", Design::kAvr));
+}
+
+TEST(SweepShard, SlicesPartitionTheGrid) {
+  const auto grid =
+      sweep::full_grid(workload_names(), ExperimentRunner::paper_designs());
+  ASSERT_EQ(grid.size(), 35u);
+  for (unsigned n : {1u, 2u, 3u, 5u, 7u, 35u, 40u}) {
+    std::multiset<Point> merged;
+    size_t total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const auto slice = sweep::shard_slice(grid, {i, n});
+      total += slice.size();
+      merged.insert(slice.begin(), slice.end());
+      // Balanced to within one point.
+      EXPECT_LE(slice.size(), (grid.size() + n - 1) / n);
+    }
+    EXPECT_EQ(total, grid.size()) << "N=" << n;
+    // A multiset equal to the grid's point set == union covers everything
+    // exactly once (disjoint + complete).
+    EXPECT_EQ(merged, std::multiset<Point>(grid.begin(), grid.end()));
+  }
+}
+
+TEST(SweepShard, DesignAndWorkloadListParsing) {
+  EXPECT_EQ(sweep::design_from_name("AVR"), Design::kAvr);
+  EXPECT_EQ(sweep::design_from_name("avr"), Design::kAvr);
+  EXPECT_EQ(sweep::design_from_name("ZeroAVR"), Design::kZeroAvr);
+  EXPECT_THROW(sweep::design_from_name("nosuch"), std::invalid_argument);
+
+  EXPECT_EQ(sweep::parse_design_list(""), ExperimentRunner::paper_designs());
+  const auto d = sweep::parse_design_list("baseline,AVR");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], Design::kBaseline);
+  EXPECT_EQ(d[1], Design::kAvr);
+
+  EXPECT_EQ(sweep::parse_workload_list(""), workload_names());
+  EXPECT_EQ(sweep::parse_workload_list("kmeans,heat"),
+            (std::vector<std::string>{"kmeans", "heat"}));
+  EXPECT_THROW(sweep::parse_workload_list("kmeans,nosuch"), std::invalid_argument);
+}
+
+// ---- end-to-end: N processes, one cache ------------------------------------
+
+std::string sweep_binary() {
+  const char* bin = std::getenv("AVR_SWEEP_BIN");
+  return bin ? bin : "";
+}
+
+pid_t spawn_sweep(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  _exit(127);  // exec failed
+}
+
+TEST(SweepShard, ThreeShardProcessesMatchSingleProcessSweep) {
+  const std::string bin = sweep_binary();
+  if (bin.empty()) GTEST_SKIP() << "AVR_SWEEP_BIN not set";
+
+  const std::string cache =
+      (std::filesystem::temp_directory_path() /
+       ("avr_shard_e2e_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  std::remove(cache.c_str());
+
+  // A small but representative sub-grid (6 points across 2 workloads and 3
+  // designs, including AVR) to keep the three processes fast.
+  const std::string workloads = "kmeans,bscholes";
+  const std::string designs = "baseline,truncate,AVR";
+
+  // All three shards run concurrently against ONE cache path — this is the
+  // writer contract the flock+O_APPEND records exist for.
+  std::vector<pid_t> pids;
+  for (int i = 0; i < 3; ++i)
+    pids.push_back(spawn_sweep({bin, "--shard", std::to_string(i) + "/3",
+                                "--workloads", workloads, "--designs", designs,
+                                "--cache", cache, "--jobs", "1", "--quiet"}));
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  const auto merged = load_result_cache(cache);
+  const auto grid = sweep::full_grid({"kmeans", "bscholes"},
+                                     {Design::kBaseline, Design::kTruncate,
+                                      Design::kAvr});
+  ASSERT_EQ(merged.size(), grid.size());
+
+  // Values must be identical (wall-clock aside) to a single-process sweep.
+  ExperimentRunner single({}, /*verbose=*/false, /*cache_path=*/"");
+  for (const auto& [w, d] : grid) {
+    ASSERT_TRUE(merged.count({w, d})) << w << " x " << to_string(d);
+    ExperimentResult got = merged.at({w, d});
+    ExperimentResult want = single.run(w, d);
+    got.wall_seconds = 0;
+    want.wall_seconds = 0;
+    EXPECT_EQ(encode_result_line(got), encode_result_line(want))
+        << w << " x " << to_string(d);
+  }
+  std::remove(cache.c_str());
+}
+
+}  // namespace
+}  // namespace avr
