@@ -13,7 +13,10 @@ using namespace avr;
 void BM_ConventionalLookup(benchmark::State& state) {
   SetAssocCache c("bench", 1 << 20, 16);
   Xoshiro256 rng(1);
-  for (int i = 0; i < 8192; ++i) c.fill(rng.below(1 << 14) * 64, false);
+  for (int i = 0; i < 8192; ++i) {
+    const uint64_t line = rng.below(1 << 14) * 64;
+    if (!c.probe(line)) c.fill(line, false);
+  }
   Xoshiro256 addr(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(c.access(addr.below(1 << 14) * 64, false));

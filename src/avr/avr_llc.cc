@@ -2,9 +2,25 @@
 
 #include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace avr {
+
+uint64_t AvrLlc::bpa_match(const BpaEntry& e) {
+  static_assert(offsetof(BpaEntry, tag_idx) == 0 && offsetof(BpaEntry, cl_id) == 4 &&
+                offsetof(BpaEntry, is_cms) == 5 && offsetof(BpaEntry, valid) == 6 &&
+                offsetof(BpaEntry, dirty) == 7 && sizeof(BpaEntry) == 16);
+  if constexpr (std::endian::native == std::endian::little) {
+    // One 8-byte load; mask off byte 7 (the dirty flag).
+    uint64_t k;
+    std::memcpy(&k, &e, sizeof(k));
+    return k & 0x00FF'FFFF'FFFF'FFFFULL;
+  } else {
+    return uint64_t{e.tag_idx} | (uint64_t{e.cl_id} << 32) |
+           (uint64_t{e.is_cms} << 40) | (uint64_t{e.valid} << 48);
+  }
+}
 
 AvrLlc::AvrLlc(const CacheConfig& cfg) : ways_(cfg.ways) {
   const uint64_t entries = cfg.size_bytes / kCachelineBytes;
@@ -25,7 +41,7 @@ AvrLlc::TagEntry* AvrLlc::find_tag(uint64_t block) {
   const uint64_t tag = block_tag(block);
   TagEntry* base = &tags_[set * ways_];
   for (uint32_t w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].block_tag == tag) return &base[w];
+    if (base[w].block_tag == tag) return &base[w];
   return nullptr;
 }
 
@@ -38,13 +54,13 @@ uint32_t AvrLlc::ensure_tag(uint64_t block, std::vector<LlcVictim>& out) {
   const uint64_t tag = block_tag(block);
   TagEntry* base = &tags_[set * ways_];
   for (uint32_t w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].block_tag == tag) return w;
+    if (base[w].block_tag == tag) return static_cast<uint32_t>(set * ways_ + w);
 
   // Allocate: free way if possible, else evict the LRU tag with all its
   // resident UCLs and CMSs (Sec. 3.4, "Allocation for a tag entry").
   uint32_t victim = ways_;
   for (uint32_t w = 0; w < ways_; ++w)
-    if (!base[w].valid) {
+    if (!base[w].valid()) {
       victim = w;
       break;
     }
@@ -53,44 +69,44 @@ uint32_t AvrLlc::ensure_tag(uint64_t block, std::vector<LlcVictim>& out) {
     for (uint32_t w = 1; w < ways_; ++w)
       if (base[w].lru < base[victim].lru) victim = w;
     evict_tag(static_cast<uint32_t>(set), victim, out);
-    stats_.add("tag_evictions");
+    ++counters_.tag_evictions;
   }
   base[victim] = TagEntry{};
-  base[victim].valid = true;
   base[victim].block_tag = tag;
   base[victim].lru = ++lru_clock_;
-  return victim;
+  return static_cast<uint32_t>(set * ways_ + victim);
 }
 
-AvrLlc::TagEntry& AvrLlc::revive_tag(uint32_t set, uint32_t way, uint64_t block) {
-  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
-  if (!t.valid) {
+AvrLlc::TagEntry& AvrLlc::revive_tag(uint32_t tag_idx, uint64_t block) {
+  TagEntry& t = tags_[tag_idx];
+  if (!t.valid()) {
     // The way is still ours: nothing allocates tag ways between ensure_tag
-    // and the caller, maybe_free_tag only clears `valid`.
+    // and the caller, maybe_free_tag only clears the tag.
     t = TagEntry{};
-    t.valid = true;
     t.block_tag = block_tag(block);
   }
   return t;
 }
 
-void AvrLlc::maybe_free_tag(uint32_t set, uint32_t way) {
-  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
-  if (t.valid && t.cms == 0 && t.ucl == 0) t.valid = false;
+void AvrLlc::maybe_free_tag(uint32_t tag_idx) {
+  TagEntry& t = tags_[tag_idx];
+  if (t.valid() && t.cms == 0 && t.ucl == 0) t.invalidate();
 }
 
 void AvrLlc::evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out) {
-  TagEntry& t = tags_[uint64_t{set} * ways_ + way];
-  assert(t.valid);
+  const uint32_t tidx = set * ways_ + way;
+  TagEntry& t = tags_[tidx];
+  assert(t.valid());
   const uint64_t block = block_addr_of_tag(set, t);
   // UCLs of this block live in 16 known BPA sets.
   for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
     const uint64_t line = block + cl * kCachelineBytes;
     const uint64_t s = ucl_index(line);
+    const uint64_t want = bpa_key(tidx, static_cast<uint8_t>(cl), false);
     BpaEntry* base = &bpa_[s * ways_];
     for (uint32_t w = 0; w < ways_; ++w) {
       BpaEntry& e = base[w];
-      if (e.valid && !e.is_cms && e.tag_set == set && e.tag_way == way && e.cl_id == cl) {
+      if (bpa_match(e) == want) {
         out.push_back({LlcVictim::kUcl, line, e.dirty});
         e.valid = false;
         t.ucl--;
@@ -103,7 +119,7 @@ void AvrLlc::evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out) 
     t.cms = 0;
   }
   assert(t.ucl == 0);
-  t.valid = false;
+  t.invalidate();
 }
 
 // ---- BPA / data array -----------------------------------------------------
@@ -112,19 +128,15 @@ AvrLlc::BpaEntry* AvrLlc::find_ucl(uint64_t line) {
   const uint64_t block = block_addr(line);
   const TagEntry* t = find_tag(block);
   if (!t || t->ucl == 0) return nullptr;
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
-  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  const uint32_t tidx = static_cast<uint32_t>(t - tags_.data());
   const uint64_t s = ucl_index(line);
-  const uint8_t suffix = static_cast<uint8_t>(line_in_block(line));
+  // Hit requires: matching CL tag suffix AND the back pointer naming the
+  // way of the matching tag (Sec. 3.4, "LLC Lookup").
+  const uint64_t want =
+      bpa_key(tidx, static_cast<uint8_t>(line_in_block(line)), false);
   BpaEntry* base = &bpa_[s * ways_];
-  for (uint32_t w = 0; w < ways_; ++w) {
-    BpaEntry& e = base[w];
-    // Hit requires: matching CL tag suffix AND the back pointer naming the
-    // way of the matching tag (Sec. 3.4, "LLC Lookup").
-    if (e.valid && !e.is_cms && e.cl_id == suffix && e.tag_set == tset &&
-        e.tag_way == tway)
-      return &e;
-  }
+  for (uint32_t w = 0; w < ways_; ++w)
+    if (bpa_match(base[w]) == want) return &base[w];
   return nullptr;
 }
 
@@ -146,14 +158,15 @@ uint32_t AvrLlc::make_room(uint64_t set, std::vector<LlcVictim>& out) {
 void AvrLlc::release_entry(uint64_t set, uint32_t way, std::vector<LlcVictim>& out) {
   BpaEntry& e = bpa_[set * ways_ + way];
   assert(e.valid);
-  TagEntry& t = tags_[uint64_t{e.tag_set} * ways_ + e.tag_way];
-  const uint64_t block = block_addr_of_tag(e.tag_set, t);
+  TagEntry& t = tags_[e.tag_idx];
+  const uint32_t tset = e.tag_idx / ways_;
+  const uint64_t block = block_addr_of_tag(tset, t);
   if (!e.is_cms) {
     out.push_back({LlcVictim::kUcl, block + uint64_t{e.cl_id} * kCachelineBytes, e.dirty});
     e.valid = false;
     assert(t.ucl > 0);
     t.ucl--;
-    maybe_free_tag(e.tag_set, e.tag_way);
+    maybe_free_tag(e.tag_idx);
     return;
   }
   // A CMS victim drags the entire compressed image out (Sec. 3.5).
@@ -161,21 +174,21 @@ void AvrLlc::release_entry(uint64_t set, uint32_t way, std::vector<LlcVictim>& o
   remove_cms_entries(block, static_cast<uint32_t>(tag_index(block)), t.cms);
   t.cms = 0;
   t.block_dirty = false;
-  maybe_free_tag(e.tag_set, e.tag_way);
-  stats_.add("cms_collateral_evictions");
+  maybe_free_tag(e.tag_idx);
+  ++counters_.cms_collateral_evictions;
 }
 
 void AvrLlc::remove_cms_entries(uint64_t block, uint32_t set0, uint32_t count) {
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
   const TagEntry* t = find_tag(block);
   assert(t);
-  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  const uint32_t tidx = static_cast<uint32_t>(t - tags_.data());
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t s = (set0 + i) & (sets_ - 1);
+    const uint64_t want = bpa_key(tidx, static_cast<uint8_t>(i), true);
     BpaEntry* base = &bpa_[s * ways_];
     for (uint32_t w = 0; w < ways_; ++w) {
       BpaEntry& e = base[w];
-      if (e.valid && e.is_cms && e.cl_id == i && e.tag_set == tset && e.tag_way == tway) {
+      if (bpa_match(e) == want) {
         e.valid = false;
         break;
       }
@@ -186,16 +199,19 @@ void AvrLlc::remove_cms_entries(uint64_t block, uint32_t set0, uint32_t count) {
 // ---- UCL public operations --------------------------------------------------
 
 bool AvrLlc::ucl_access(uint64_t line, bool write) {
-  stats_.add("ucl_accesses");
+  ++counters_.ucl_accesses;
   BpaEntry* e = find_ucl(line);
   if (!e) return false;
   e->lru = ++lru_clock_;
   if (write) e->dirty = true;
-  TagEntry& t = tags_[uint64_t{e->tag_set} * ways_ + e->tag_way];
+  const uint32_t tidx = e->tag_idx;
+  TagEntry& t = tags_[tidx];
   t.lru = ++lru_clock_;
   // Accessing any UCL of a block refreshes its CMS entries' LRU (Sec. 3.4).
-  if (t.cms > 0) cms_touch(block_addr(line));
-  stats_.add("ucl_hits");
+  // find_ucl already resolved the tag, so refresh it directly instead of
+  // re-running the tag lookup through cms_touch().
+  if (t.cms > 0) cms_touch_entry(tidx, t);
+  ++counters_.ucl_hits;
   return true;
 }
 
@@ -204,8 +220,7 @@ bool AvrLlc::ucl_present(uint64_t line) const { return find_ucl(line) != nullptr
 void AvrLlc::ucl_insert(uint64_t line, bool dirty, std::vector<LlcVictim>& out) {
   assert(!ucl_present(line));
   const uint64_t block = block_addr(line);
-  const uint32_t tway = ensure_tag(block, out);
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint32_t tidx = ensure_tag(block, out);
   const uint64_t s = ucl_index(line);
   const uint32_t w = make_room(s, out);
   BpaEntry& e = bpa_[s * ways_ + w];
@@ -213,27 +228,26 @@ void AvrLlc::ucl_insert(uint64_t line, bool dirty, std::vector<LlcVictim>& out) 
   e.dirty = dirty;
   e.is_cms = false;
   e.cl_id = static_cast<uint8_t>(line_in_block(line));
-  e.tag_set = tset;
-  e.tag_way = tway;
+  e.tag_idx = tidx;
   e.lru = ++lru_clock_;
   // make_room may have collaterally freed this tag: the block's own CMS
   // image can live in this UCL set, and its eviction leaves the tag with
   // cms == 0 && ucl == 0.
-  TagEntry& t = revive_tag(tset, tway, block);
+  TagEntry& t = revive_tag(tidx, block);
   t.ucl++;
   t.lru = lru_clock_;
-  stats_.add("ucl_fills");
+  ++counters_.ucl_fills;
 }
 
 std::optional<bool> AvrLlc::ucl_invalidate(uint64_t line) {
   BpaEntry* e = find_ucl(line);
   if (!e) return std::nullopt;
   const bool dirty = e->dirty;
-  TagEntry& t = tags_[uint64_t{e->tag_set} * ways_ + e->tag_way];
+  TagEntry& t = tags_[e->tag_idx];
   e->valid = false;
   assert(t.ucl > 0);
   t.ucl--;
-  maybe_free_tag(e->tag_set, e->tag_way);
+  maybe_free_tag(e->tag_idx);
   return dirty;
 }
 
@@ -266,15 +280,19 @@ void AvrLlc::cms_touch(uint64_t block) {
   block = block_addr(block);
   TagEntry* t = find_tag(block);
   if (!t || t->cms == 0) return;
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
-  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
-  t->lru = ++lru_clock_;
-  for (uint32_t i = 0; i < t->cms; ++i) {
+  cms_touch_entry(static_cast<uint32_t>(t - tags_.data()), *t);
+}
+
+void AvrLlc::cms_touch_entry(uint32_t tag_idx, TagEntry& t) {
+  const uint32_t tset = tag_idx / ways_;
+  t.lru = ++lru_clock_;
+  for (uint32_t i = 0; i < t.cms; ++i) {
     const uint64_t s = (tset + i) & (sets_ - 1);
+    const uint64_t want = bpa_key(tag_idx, static_cast<uint8_t>(i), true);
     BpaEntry* base = &bpa_[s * ways_];
     for (uint32_t w = 0; w < ways_; ++w) {
       BpaEntry& e = base[w];
-      if (e.valid && e.is_cms && e.cl_id == i && e.tag_set == tset && e.tag_way == tway) {
+      if (bpa_match(e) == want) {
         e.lru = lru_clock_;
         break;
       }
@@ -287,8 +305,8 @@ void AvrLlc::cms_insert(uint64_t block, uint32_t count, bool dirty,
   block = block_addr(block);
   assert(count >= 1 && count <= kMaxCompressedLines);
   assert(!cms_present(block) && "remove the old image first");
-  const uint32_t tway = ensure_tag(block, out);
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
+  const uint32_t tidx = ensure_tag(block, out);
+  const uint32_t tset = tidx / ways_;
   // Consecutive-set allocation starting at the tag index (Sec. 3.4).
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t s = (tset + i) & (sets_ - 1);
@@ -298,17 +316,16 @@ void AvrLlc::cms_insert(uint64_t block, uint32_t count, bool dirty,
     e.dirty = dirty;
     e.is_cms = true;
     e.cl_id = static_cast<uint8_t>(i);
-    e.tag_set = tset;
-    e.tag_way = tway;
+    e.tag_idx = tidx;
     e.lru = ++lru_clock_;
   }
   // make_room may have collaterally freed this very tag: evicting the block's
   // last UCL while cms is still 0 makes maybe_free_tag clear it.
-  TagEntry& t = revive_tag(tset, tway, block);
-  t.cms = count;
+  TagEntry& t = revive_tag(tidx, block);
+  t.cms = static_cast<uint8_t>(count);
   t.block_dirty = dirty;
   t.lru = ++lru_clock_;
-  stats_.add("cms_fills", count);
+  counters_.cms_fills += count;
 }
 
 void AvrLlc::cms_remove(uint64_t block) {
@@ -318,8 +335,7 @@ void AvrLlc::cms_remove(uint64_t block) {
   remove_cms_entries(block, static_cast<uint32_t>(tag_index(block)), t->cms);
   t->cms = 0;
   t->block_dirty = false;
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
-  maybe_free_tag(tset, static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]));
+  maybe_free_tag(static_cast<uint32_t>(t - tags_.data()));
 }
 
 // ---- block-level queries -----------------------------------------------------
@@ -329,20 +345,29 @@ std::vector<uint64_t> AvrLlc::ucls_of_block(uint64_t block, bool dirty_only) con
   std::vector<uint64_t> out;
   const TagEntry* t = find_tag(block);
   if (!t || t->ucl == 0) return out;
-  const uint32_t tset = static_cast<uint32_t>(tag_index(block));
-  const uint32_t tway = static_cast<uint32_t>(t - &tags_[uint64_t{tset} * ways_]);
+  const uint32_t tidx = static_cast<uint32_t>(t - tags_.data());
   for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
     const uint64_t line = block + cl * kCachelineBytes;
     const uint64_t s = ucl_index(line);
+    const uint64_t want = bpa_key(tidx, static_cast<uint8_t>(cl), false);
     const BpaEntry* base = &bpa_[s * ways_];
     for (uint32_t w = 0; w < ways_; ++w) {
       const BpaEntry& e = base[w];
-      if (e.valid && !e.is_cms && e.tag_set == tset && e.tag_way == tway &&
-          e.cl_id == cl && (!dirty_only || e.dirty))
-        out.push_back(line);
+      if (bpa_match(e) == want && (!dirty_only || e.dirty)) out.push_back(line);
     }
   }
   return out;
+}
+
+StatGroup AvrLlc::stats() const {
+  StatGroup g("avr_llc");
+  g.add_nonzero("ucl_accesses", counters_.ucl_accesses);
+  g.add_nonzero("ucl_hits", counters_.ucl_hits);
+  g.add_nonzero("ucl_fills", counters_.ucl_fills);
+  g.add_nonzero("cms_fills", counters_.cms_fills);
+  g.add_nonzero("tag_evictions", counters_.tag_evictions);
+  g.add_nonzero("cms_collateral_evictions", counters_.cms_collateral_evictions);
+  return g;
 }
 
 std::vector<LlcVictim> AvrLlc::all_resident() const {
@@ -350,7 +375,7 @@ std::vector<LlcVictim> AvrLlc::all_resident() const {
   for (uint32_t set = 0; set < sets_; ++set)
     for (uint32_t w = 0; w < ways_; ++w) {
       const TagEntry& t = tags_[uint64_t{set} * ways_ + w];
-      if (!t.valid) continue;
+      if (!t.valid()) continue;
       const uint64_t block = block_addr_of_tag(set, t);
       if (t.cms > 0) out.push_back({LlcVictim::kCmsBlock, block, t.block_dirty});
     }
@@ -358,8 +383,8 @@ std::vector<LlcVictim> AvrLlc::all_resident() const {
     for (uint32_t w = 0; w < ways_; ++w) {
       const BpaEntry& e = bpa_[s * ways_ + w];
       if (!e.valid || e.is_cms) continue;
-      const TagEntry& t = tags_[uint64_t{e.tag_set} * ways_ + e.tag_way];
-      const uint64_t block = block_addr_of_tag(e.tag_set, t);
+      const TagEntry& t = tags_[e.tag_idx];
+      const uint64_t block = block_addr_of_tag(e.tag_idx / ways_, t);
       out.push_back({LlcVictim::kUcl, block + uint64_t{e.cl_id} * kCachelineBytes, e.dirty});
     }
   return out;

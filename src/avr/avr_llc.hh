@@ -35,6 +35,18 @@ struct LlcVictim {
   bool dirty = false;
 };
 
+/// Plain-field counters, bumped on every UCL/CMS operation: ucl_access sits
+/// behind every LLC request the interval core issues, so no string-keyed
+/// maps here (same convention as CacheCounters).
+struct AvrLlcCounters {
+  uint64_t ucl_accesses = 0;
+  uint64_t ucl_hits = 0;
+  uint64_t ucl_fills = 0;
+  uint64_t cms_fills = 0;
+  uint64_t tag_evictions = 0;
+  uint64_t cms_collateral_evictions = 0;
+};
+
 class AvrLlc {
  public:
   explicit AvrLlc(const CacheConfig& cfg);
@@ -80,27 +92,46 @@ class AvrLlc {
   /// BPA entry bits beyond a conventional cache's dirty/valid/LRU.
   static constexpr uint32_t kBpaExtraBitsPerEntry = 18;
 
-  const StatGroup& stats() const { return stats_; }
-  StatGroup& stats() { return stats_; }
+  const AvrLlcCounters& counters() const { return counters_; }
+  /// Snapshot of the counters as a StatGroup (cold path, for reporting);
+  /// zero-valued counters are omitted, as a never-touched map key used to be.
+  StatGroup stats() const;
 
  private:
+  // Both arrays are scanned way-by-way on every lookup, so the entries are
+  // packed tight (24 B tags, 16 B BPA entries: a 16-way scan stays inside a
+  // few cachelines) and keyed for single-compare scans: an invalid tag
+  // stores a sentinel block_tag (no real block tag reaches 2^54), and the
+  // BPA match fields are laid out so one masked 8-byte load compares
+  // (tag_idx, cl_id, is_cms, valid) at once. cms <= 8 and ucl <= 16 fit a
+  // byte; the owning tag is a single flat index (set * ways + way).
+  static constexpr uint64_t kNoTag = ~uint64_t{0};
   struct TagEntry {
-    bool valid = false;
-    bool block_dirty = false;  // the compressed image is dirty
-    uint64_t block_tag = 0;
-    uint32_t cms = 0;  // CMS count, 0 = compressed image absent
-    uint32_t ucl = 0;  // number of UCLs of this block in the LLC
+    uint64_t block_tag = kNoTag;
     uint64_t lru = 0;
+    uint8_t cms = 0;  // CMS count, 0 = compressed image absent
+    uint8_t ucl = 0;  // number of UCLs of this block in the LLC
+    bool block_dirty = false;  // the compressed image is dirty
+
+    bool valid() const { return block_tag != kNoTag; }
+    void invalidate() { block_tag = kNoTag; }
   };
   struct BpaEntry {
-    bool valid = false;
-    bool dirty = false;
-    bool is_cms = false;
+    uint32_t tag_idx = 0;  // flat index of the owning tag entry
     uint8_t cl_id = 0;     // UCL: CL offset in block; CMS: sub-block index
-    uint32_t tag_set = 0;  // way+set of the owning tag entry
-    uint32_t tag_way = 0;
+    bool is_cms = false;
+    bool valid = false;
+    bool dirty = false;  // byte 7: the only field a lookup does not match on
     uint64_t lru = 0;
   };
+
+  /// The match word a resident entry must equal: bytes 0..6 of a BpaEntry,
+  /// i.e. everything but the dirty flag.
+  static uint64_t bpa_key(uint32_t tag_idx, uint8_t cl_id, bool is_cms) {
+    return uint64_t{tag_idx} | (uint64_t{cl_id} << 32) |
+           (uint64_t{is_cms} << 40) | (uint64_t{1} << 48);
+  }
+  static uint64_t bpa_match(const BpaEntry& e);
 
   uint64_t tag_index(uint64_t block) const { return (block >> 10) & (sets_ - 1); }
   uint64_t ucl_index(uint64_t line) const { return (line >> 6) & (sets_ - 1); }
@@ -112,15 +143,18 @@ class AvrLlc {
   TagEntry* find_tag(uint64_t block);
   const TagEntry* find_tag(uint64_t block) const;
   /// Find-or-allocate the tag entry; allocation may evict a victim tag and
-  /// therefore all of its resident lines (appended to `out`).
+  /// therefore all of its resident lines (appended to `out`). Returns the
+  /// flat tag index.
   uint32_t ensure_tag(uint64_t block, std::vector<LlcVictim>& out);
-  /// Re-validate the tag at (set, way) in place if make_room collaterally
+  /// Re-validate the tag at `tag_idx` in place if make_room collaterally
   /// freed it after ensure_tag (its last resident entry was evicted while
   /// the caller's insert was still in flight). Returns the tag entry.
-  TagEntry& revive_tag(uint32_t set, uint32_t way, uint64_t block);
-  void maybe_free_tag(uint32_t set, uint32_t way);
+  TagEntry& revive_tag(uint32_t tag_idx, uint64_t block);
+  void maybe_free_tag(uint32_t tag_idx);
   /// Evict everything belonging to the tag at (set, way).
   void evict_tag(uint32_t set, uint32_t way, std::vector<LlcVictim>& out);
+  /// LRU-refresh the tag and its CMS entries (`t` == tags_[tag_idx]).
+  void cms_touch_entry(uint32_t tag_idx, TagEntry& t);
 
   BpaEntry* find_ucl(uint64_t line);
   const BpaEntry* find_ucl(uint64_t line) const;
@@ -138,7 +172,7 @@ class AvrLlc {
   uint32_t ways_ = 0;
   uint32_t set_bits_ = 0;
   uint64_t lru_clock_ = 0;
-  StatGroup stats_{"avr_llc"};
+  AvrLlcCounters counters_;
 };
 
 }  // namespace avr

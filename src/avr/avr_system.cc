@@ -20,29 +20,35 @@ DType AvrSystem::dtype_of(uint64_t addr) const {
 
 uint64_t AvrSystem::dram_read(uint64_t now, uint64_t addr, uint32_t bytes,
                               bool is_approx) {
-  stats_.add(is_approx ? "traffic_approx_bytes" : "traffic_other_bytes", bytes);
+  if (is_approx)
+    counters_.traffic_approx_bytes += bytes;
+  else
+    counters_.traffic_other_bytes += bytes;
   return dram_.read(now, addr, bytes);
 }
 
 void AvrSystem::dram_write(uint64_t now, uint64_t addr, uint32_t bytes,
                            bool is_approx) {
-  stats_.add(is_approx ? "traffic_approx_bytes" : "traffic_other_bytes", bytes);
+  if (is_approx)
+    counters_.traffic_approx_bytes += bytes;
+  else
+    counters_.traffic_other_bytes += bytes;
   dram_.write(now, addr, bytes);
 }
 
 AvrSystem::CompressOutcome AvrSystem::compress_block_values(uint64_t block) {
-  stats_.add("compress_attempts");
+  ++counters_.compress_attempts;
   auto vals = regions_.block_values(block);
   auto att = compressor_.compress(vals, dtype_of(block));
   if (!att) {
-    stats_.add("compress_failures");
+    ++counters_.compress_failures;
     return {};
   }
   // The block now lives in summarized form: every subsequent read observes
   // the reconstruction. Outliers are stored exactly, so reconstruct() leaves
   // them bit-identical.
   compressor_.reconstruct(att->block, vals);
-  stats_.add("compress_successes");
+  ++counters_.compress_successes;
   compressed_lines_sum_ += att->block.lines();
   compressed_blocks_ += 1;
   return {att->block.lines(), att->block.method, att->block.bias};
@@ -62,13 +68,13 @@ bool AvrSystem::should_skip_attempt(BlockMeta& meta) {
   // incompressible for good — re-attempting means re-fetching its missing
   // lines from memory, which would hand back all of the bandwidth savings.
   if (meta.failed >= cfg_.avr.max_failures) {
-    stats_.add("attempts_skipped");
+    ++counters_.attempts_skipped;
     return true;
   }
   const uint32_t budget = std::min<uint32_t>(meta.failed, cfg_.avr.max_skips);
   if (meta.skipped < budget) {
     meta.skipped = static_cast<uint8_t>(meta.skipped + 1);
-    stats_.add("attempts_skipped");
+    ++counters_.attempts_skipped;
     return true;
   }
   meta.skipped = 0;  // budget exhausted: allow one real attempt
@@ -84,14 +90,14 @@ uint64_t AvrSystem::request(uint64_t now, uint64_t line, bool write) {
   const uint64_t block = block_addr(line);
   const bool ap = approx(line);
   last_was_miss_ = false;
-  stats_.add("requests");
-  if (ap) stats_.add("approx_requests");
+  ++counters_.requests;
+  if (ap) ++counters_.approx_requests;
 
   std::vector<LlcVictim> victims;
 
   // 1. DBUF lookup, in parallel with the tag array.
   if (ap && dbuf_.holds(line)) {
-    stats_.add("req_hit_dbuf");
+    ++counters_.req_hit_dbuf;
     dbuf_.mark_requested(line);
     // The UCL is also written from the DBUF into the LLC (Sec. 3.5).
     if (!llc_.ucl_present(line)) {
@@ -106,16 +112,19 @@ uint64_t AvrSystem::request(uint64_t now, uint64_t line, bool write) {
 
   // 2. UCL lookup.
   if (llc_.ucl_access(line, write)) {
-    stats_.add(ap ? "req_hit_ucl" : "req_hit_ucl_other");
+    if (ap)
+      ++counters_.req_hit_ucl;
+    else
+      ++counters_.req_hit_ucl_other;
     return cfg_.llc.latency;
   }
 
   // 3. CMS lookup: is the compressed image resident?
   if (ap && llc_.cms_present(block)) {
-    stats_.add("req_hit_compressed");
+    ++counters_.req_hit_compressed;
     const uint32_t k = llc_.cms_count(block);
     llc_.cms_touch(block);
-    stats_.add("decompressions");
+    ++counters_.decompressions;
     // Displace the DBUF: consult the PFE about the outgoing block first.
     run_pfe(now, 0);
     dbuf_.refill(block);
@@ -126,13 +135,16 @@ uint64_t AvrSystem::request(uint64_t now, uint64_t line, bool write) {
     const uint64_t lat = cfg_.llc.latency +
                          uint64_t{cfg_.avr.cms_stream_cycles} * (k - 1) +
                          cfg_.avr.decompress_latency;
-    stats_.add("hit_compressed_latency_total", lat);
+    counters_.hit_compressed_latency_total += lat;
     return lat;
   }
 
   // 4. Miss.
   last_was_miss_ = true;
-  stats_.add(ap ? "req_miss" : "req_miss_other");
+  if (ap)
+    ++counters_.req_miss;
+  else
+    ++counters_.req_miss_other;
 
   if (!ap) {
     const uint64_t lat = dram_read(now, line, kCachelineBytes, false);
@@ -147,9 +159,9 @@ uint64_t AvrSystem::request(uint64_t now, uint64_t line, bool write) {
     const uint32_t lines = meta.size_lines + meta.lazy_count;
     const uint64_t lat_dram =
         dram_read(now, block, lines * kCachelineBytes, true);
-    stats_.add("decompressions");
-    stats_.add("block_fetches");
-    stats_.add("block_fetch_lines", lines);
+    ++counters_.decompressions;
+    ++counters_.block_fetches;
+    counters_.block_fetch_lines += lines;
 
     bool inserted_cms = false;
     if (meta.lazy_count > 0) {
@@ -235,16 +247,16 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
   const uint64_t block = block_addr(line);
   if (!approx(line)) {
     dram_write(now, line, kCachelineBytes, false);
-    stats_.add("evict_other_wb");
+    ++counters_.evict_other_wb;
     return;
   }
-  stats_.add("approx_evictions");
+  ++counters_.approx_evictions;
 
   // Case 1: the compressed image is in the LLC -> update and recompress it
   // on chip (no memory traffic).
   if (llc_.cms_present(block) && depth < kMaxDepth) {
-    stats_.add("evict_recompress");
-    stats_.add("decompressions");
+    ++counters_.evict_recompress;
+    ++counters_.decompressions;
     const CompressOutcome out = compress_block_values(block);
     std::vector<LlcVictim> victims;
     llc_.cms_remove(block);
@@ -269,7 +281,7 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
   // Case 2: block compressed in memory and there is room in its 1 KB slot:
   // lazily write the line back uncompressed (Sec. 3.1).
   if (meta.compressed() && cfg_.avr.enable_lazy_eviction && meta.lazy_space() > 0) {
-    stats_.add("evict_lazy_wb");
+    ++counters_.evict_lazy_wb;
     dram_write(now, line, kCachelineBytes, true);
     cmt_.add_lazy_line(block, line_in_block(line));
     meta.lazy_count = static_cast<uint8_t>(meta.lazy_count + 1);
@@ -279,10 +291,10 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
   // Case 3: block compressed in memory, no lazy space: fetch, merge,
   // recompress, write back.
   if (meta.compressed()) {
-    stats_.add("evict_fetch_recompress");
+    ++counters_.evict_fetch_recompress;
     const uint32_t lines = meta.size_lines + meta.lazy_count;
     dram_read(now, block, lines * kCachelineBytes, true);
-    stats_.add("decompressions");
+    ++counters_.decompressions;
     const CompressOutcome out = compress_block_values(block);
     if (out.lines > 0) {
       dram_write(now, block, out.lines * kCachelineBytes, true);
@@ -306,7 +318,7 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
   // decide whether to attempt compression at all (Sec. 3.5). This path only
   // touches memory (no LLC re-insertion), so it is safe at any depth.
   if (should_skip_attempt(meta)) {
-    stats_.add("evict_uncompressed_wb");
+    ++counters_.evict_uncompressed_wb;
     dram_write(now, line, kCachelineBytes, true);
     return;
   }
@@ -318,7 +330,7 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
   if (missing > 0) dram_read(now, block, missing * kCachelineBytes, true);
   const CompressOutcome out = compress_block_values(block);
   if (out.lines > 0) {
-    stats_.add("evict_fetch_recompress");
+    ++counters_.evict_fetch_recompress;
     dram_write(now, block, out.lines * kCachelineBytes, true);
     meta.method = out.method;
     meta.bias = out.bias;
@@ -331,7 +343,7 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
     for (uint64_t l : llc_.ucls_of_block(block, /*dirty_only=*/true))
       llc_.ucl_mark_clean(l);
   } else {
-    stats_.add("evict_uncompressed_wb");
+    ++counters_.evict_uncompressed_wb;
     dram_write(now, line, kCachelineBytes, true);
     meta.failed = std::min<uint32_t>(meta.failed + 1, 15);
     meta.skipped = 0;
@@ -340,12 +352,12 @@ void AvrSystem::handle_dirty_ucl(uint64_t now, uint64_t line, int depth) {
 
 void AvrSystem::handle_cms_block_evict(uint64_t now, uint64_t block, bool dirty,
                                        int depth) {
-  stats_.add("cms_block_evictions");
+  ++counters_.cms_block_evictions;
   if (!dirty) return;  // memory still holds a valid compressed image
 
   // Decompress on chip, overlay the block's dirty UCLs, recompress, write
   // back to memory (Sec. 3.5). Backing values are already current.
-  stats_.add("decompressions");
+  ++counters_.decompressions;
   BlockMeta& meta = cmt_.lookup(block);
   const CompressOutcome out = compress_block_values(block);
   if (out.lines > 0) {
@@ -370,18 +382,50 @@ void AvrSystem::handle_cms_block_evict(uint64_t now, uint64_t block, bool dirty,
 
 // ---------------------------------------------------------------------------
 
+StatGroup AvrSystem::stats() const {
+  StatGroup g("avr_system");
+  g.add_nonzero("requests", counters_.requests);
+  g.add_nonzero("approx_requests", counters_.approx_requests);
+  g.add_nonzero("req_hit_dbuf", counters_.req_hit_dbuf);
+  g.add_nonzero("req_hit_ucl", counters_.req_hit_ucl);
+  g.add_nonzero("req_hit_ucl_other", counters_.req_hit_ucl_other);
+  g.add_nonzero("req_hit_compressed", counters_.req_hit_compressed);
+  g.add_nonzero("req_miss", counters_.req_miss);
+  g.add_nonzero("req_miss_other", counters_.req_miss_other);
+  g.add_nonzero("hit_compressed_latency_total", counters_.hit_compressed_latency_total);
+  g.add_nonzero("decompressions", counters_.decompressions);
+  g.add_nonzero("block_fetches", counters_.block_fetches);
+  g.add_nonzero("block_fetch_lines", counters_.block_fetch_lines);
+  g.add_nonzero("traffic_approx_bytes", counters_.traffic_approx_bytes);
+  g.add_nonzero("traffic_other_bytes", counters_.traffic_other_bytes);
+  g.add_nonzero("compress_attempts", counters_.compress_attempts);
+  g.add_nonzero("compress_successes", counters_.compress_successes);
+  g.add_nonzero("compress_failures", counters_.compress_failures);
+  g.add_nonzero("attempts_skipped", counters_.attempts_skipped);
+  g.add_nonzero("approx_evictions", counters_.approx_evictions);
+  g.add_nonzero("evict_other_wb", counters_.evict_other_wb);
+  g.add_nonzero("evict_recompress", counters_.evict_recompress);
+  g.add_nonzero("evict_lazy_wb", counters_.evict_lazy_wb);
+  g.add_nonzero("evict_fetch_recompress", counters_.evict_fetch_recompress);
+  g.add_nonzero("evict_uncompressed_wb", counters_.evict_uncompressed_wb);
+  g.add_nonzero("cms_block_evictions", counters_.cms_block_evictions);
+  g.add_nonzero("pfe_promotions", counters_.pfe_promotions);
+  g.add_nonzero("pfe_lines", counters_.pfe_lines);
+  return g;
+}
+
 void AvrSystem::run_pfe(uint64_t now, int depth) {
   if (!dbuf_.valid()) return;
   if (!cfg_.avr.enable_pfe) return;
   if (dbuf_.requested_count() < cfg_.avr.pfe_threshold) return;
-  stats_.add("pfe_promotions");
+  ++counters_.pfe_promotions;
   const uint64_t block = dbuf_.block();
   std::vector<LlcVictim> victims;
   for (uint32_t cl = 0; cl < kBlockLines; ++cl) {
     const uint64_t line = block + cl * kCachelineBytes;
     if (dbuf_.line_in_llc(line) || llc_.ucl_present(line)) continue;
     llc_.ucl_insert(line, /*dirty=*/false, victims);
-    stats_.add("pfe_lines");
+    ++counters_.pfe_lines;
   }
   process_victims(now, victims, depth + 1);
 }

@@ -25,6 +25,39 @@
 
 namespace avr {
 
+/// Plain-field counters for everything the request/eviction flows count.
+/// request() runs once per LLC request of every core, so no string-keyed
+/// maps here; stats() snapshots these into the reporting StatGroup.
+struct AvrSystemCounters {
+  uint64_t requests = 0;
+  uint64_t approx_requests = 0;
+  uint64_t req_hit_dbuf = 0;
+  uint64_t req_hit_ucl = 0;
+  uint64_t req_hit_ucl_other = 0;
+  uint64_t req_hit_compressed = 0;
+  uint64_t req_miss = 0;
+  uint64_t req_miss_other = 0;
+  uint64_t hit_compressed_latency_total = 0;
+  uint64_t decompressions = 0;
+  uint64_t block_fetches = 0;
+  uint64_t block_fetch_lines = 0;
+  uint64_t traffic_approx_bytes = 0;
+  uint64_t traffic_other_bytes = 0;
+  uint64_t compress_attempts = 0;
+  uint64_t compress_successes = 0;
+  uint64_t compress_failures = 0;
+  uint64_t attempts_skipped = 0;
+  uint64_t approx_evictions = 0;
+  uint64_t evict_other_wb = 0;
+  uint64_t evict_recompress = 0;
+  uint64_t evict_lazy_wb = 0;
+  uint64_t evict_fetch_recompress = 0;
+  uint64_t evict_uncompressed_wb = 0;
+  uint64_t cms_block_evictions = 0;
+  uint64_t pfe_promotions = 0;
+  uint64_t pfe_lines = 0;
+};
+
 class AvrSystem : public LlcSystem {
  public:
   AvrSystem(const SimConfig& cfg, RegionRegistry& regions);
@@ -34,7 +67,8 @@ class AvrSystem : public LlcSystem {
   void drain(uint64_t now) override;
   bool last_was_miss() const override { return last_was_miss_; }
 
-  const StatGroup& stats() const override { return stats_; }
+  StatGroup stats() const override;
+  const AvrSystemCounters& counters() const { return counters_; }
   Dram& dram() override { return dram_; }
   const Dram& dram() const override { return dram_; }
 
@@ -86,7 +120,7 @@ class AvrSystem : public LlcSystem {
   Cmt cmt_;
   Compressor compressor_;
   Dbuf dbuf_;
-  StatGroup stats_{"avr_system"};
+  AvrSystemCounters counters_;
   bool last_was_miss_ = false;
 
   // Running tally for Table 4: sum of compressed sizes and #compressions.

@@ -29,14 +29,14 @@ Cmt::Cmt(uint32_t cached_pages)
 
 BlockMeta& Cmt::lookup(uint64_t addr) {
   const uint64_t page = page_addr(addr);
-  stats_.add("lookups");
+  ++counters_.lookups;
   if (!cache_.access(page, /*write=*/false)) {
     // TLB/CMT miss: fetch the page's 4 entries (4 x 23 bits ~ 12 B) and
     // write back the victim's entries if dirty. We charge 12 B each way.
     const Eviction ev = cache_.fill(page, /*dirty=*/false);
-    stats_.add("misses");
-    stats_.add("metadata_bytes", 12);
-    if (ev.valid && ev.dirty) stats_.add("metadata_bytes", 12);
+    ++counters_.misses;
+    counters_.metadata_bytes += 12;
+    if (ev.valid && ev.dirty) counters_.metadata_bytes += 12;
   }
   // Any lookup may update the entry; mark the cached page dirty. This is
   // conservative (extra writeback traffic is a few bytes per miss).
@@ -59,5 +59,13 @@ const std::vector<uint8_t>& Cmt::lazy_lines(uint64_t block) {
 }
 
 void Cmt::clear_lazy_lines(uint64_t block) { lazy_[block_addr(block)].clear(); }
+
+StatGroup Cmt::stats() const {
+  StatGroup g("cmt");
+  g.add_nonzero("lookups", counters_.lookups);
+  g.add_nonzero("misses", counters_.misses);
+  g.add_nonzero("metadata_bytes", counters_.metadata_bytes);
+  return g;
+}
 
 }  // namespace avr

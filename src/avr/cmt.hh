@@ -38,6 +38,14 @@ struct BlockMeta {
   bool operator==(const BlockMeta&) const = default;
 };
 
+/// Plain-field counters: lookup() runs on every AVR request that reaches the
+/// metadata layer, so no string-keyed maps here.
+struct CmtCounters {
+  uint64_t lookups = 0;
+  uint64_t misses = 0;
+  uint64_t metadata_bytes = 0;
+};
+
 class Cmt {
  public:
   /// `entries` on-chip cached pages; 4 block entries per page.
@@ -58,14 +66,16 @@ class Cmt {
   void clear_lazy_lines(uint64_t block);
 
   /// Metadata DRAM traffic in bytes (reads + writes), charged per CMT miss.
-  uint64_t metadata_traffic_bytes() const { return stats_.get("metadata_bytes"); }
-  const StatGroup& stats() const { return stats_; }
+  uint64_t metadata_traffic_bytes() const { return counters_.metadata_bytes; }
+  const CmtCounters& counters() const { return counters_; }
+  /// Snapshot of the counters as a StatGroup (cold path, for reporting).
+  StatGroup stats() const;
 
  private:
   std::unordered_map<uint64_t, BlockMeta> table_;           // by block address
   std::unordered_map<uint64_t, std::vector<uint8_t>> lazy_;  // by block address
   SetAssocCache cache_;
-  StatGroup stats_{"cmt"};
+  CmtCounters counters_;
 };
 
 }  // namespace avr

@@ -4,7 +4,7 @@ namespace avr {
 
 uint64_t BaselineSystem::request(uint64_t now, uint64_t line, bool write) {
   line = line_addr(line);
-  stats_.add("requests");
+  ++counters_.requests;
   last_was_miss_ = false;
   if (llc_.access(line, write)) return cfg_.llc.latency;
 
@@ -27,6 +27,14 @@ void BaselineSystem::writeback(uint64_t now, uint64_t line) {
     dram_.write(now, ev.addr, kCachelineBytes);
     count_traffic(ev.addr, kCachelineBytes);
   }
+}
+
+StatGroup BaselineSystem::stats() const {
+  StatGroup g("baseline_system");
+  g.add_nonzero("requests", counters_.requests);
+  g.add_nonzero("traffic_approx_bytes", counters_.traffic_approx_bytes);
+  g.add_nonzero("traffic_other_bytes", counters_.traffic_other_bytes);
+  return g;
 }
 
 void BaselineSystem::drain(uint64_t now) {

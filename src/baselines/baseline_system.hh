@@ -9,6 +9,14 @@
 
 namespace avr {
 
+/// Plain-field counters for the baseline (and Truncate) request path: one
+/// request() per LLC access, so no string-keyed maps here.
+struct BaselineCounters {
+  uint64_t requests = 0;
+  uint64_t traffic_approx_bytes = 0;
+  uint64_t traffic_other_bytes = 0;
+};
+
 class BaselineSystem : public LlcSystem {
  public:
   BaselineSystem(const SimConfig& cfg, RegionRegistry& regions)
@@ -22,23 +30,25 @@ class BaselineSystem : public LlcSystem {
   void drain(uint64_t now) override;
   bool last_was_miss() const override { return last_was_miss_; }
 
-  const StatGroup& stats() const override { return stats_; }
+  StatGroup stats() const override;
+  const BaselineCounters& counters() const { return counters_; }
   Dram& dram() override { return dram_; }
   const Dram& dram() const override { return dram_; }
 
  protected:
   /// Traffic split for Fig. 11 (approx vs other bytes).
   void count_traffic(uint64_t line, uint32_t bytes) {
-    stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
-                                        : "traffic_other_bytes",
-               bytes);
+    if (regions_.is_approx(line))
+      counters_.traffic_approx_bytes += bytes;
+    else
+      counters_.traffic_other_bytes += bytes;
   }
 
   SimConfig cfg_;
   RegionRegistry& regions_;
   Dram dram_;
   SetAssocCache llc_;
-  StatGroup stats_{"baseline_system"};
+  BaselineCounters counters_;
   bool last_was_miss_ = false;
 };
 

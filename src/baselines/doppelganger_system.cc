@@ -121,9 +121,7 @@ void DoppelgangerSystem::evict_data_entry(uint64_t now, uint32_t idx) {
     if (!t) continue;
     if (t->dirty) {
       dram_.write(now, line, kCachelineBytes);
-      stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
-                                          : "traffic_other_bytes",
-                 kCachelineBytes);
+      count_traffic(line, kCachelineBytes);
     }
     t->valid = false;
   }
@@ -131,7 +129,7 @@ void DoppelgangerSystem::evict_data_entry(uint64_t now, uint32_t idx) {
   d.valid = false;
   d.sharers.clear();
   free_data_.push_back(idx);
-  stats_.add("data_evictions");
+  ++counters_.data_evictions;
 }
 
 void DoppelgangerSystem::detach_tag(uint64_t now, TagEntry& t, bool write_back) {
@@ -140,9 +138,7 @@ void DoppelgangerSystem::detach_tag(uint64_t now, TagEntry& t, bool write_back) 
   if (it != d.sharers.end()) d.sharers.erase(it);
   if (t.dirty && write_back) {
     dram_.write(now, t.line, kCachelineBytes);
-    stats_.add(regions_.is_approx(t.line) ? "traffic_approx_bytes"
-                                          : "traffic_other_bytes",
-               kCachelineBytes);
+    count_traffic(t.line, kCachelineBytes);
   }
   if (d.sharers.empty() && d.valid) {
     by_key_.erase(d.key);
@@ -166,7 +162,7 @@ void DoppelgangerSystem::unshare_for_write(uint64_t now, TagEntry& t) {
   // alloc_data_entry may have evicted tags; re-find ours.
   TagEntry* t2 = find_tag(line);
   if (t2) t2->data_idx = idx;
-  stats_.add("unshares");
+  ++counters_.unshares;
 }
 
 bool DoppelgangerSystem::install(uint64_t now, uint64_t line, bool dirty) {
@@ -194,7 +190,7 @@ bool DoppelgangerSystem::install(uint64_t now, uint64_t line, bool dirty) {
       // observes them on every future read.
       std::memcpy(regions_.host_ptr(line), data_[idx].repr.data(), kCachelineBytes);
       deduped = true;
-      stats_.add("dedup_hits");
+      ++counters_.dedup_hits;
     } else {
       idx = alloc_data_entry(now, key);
       std::memcpy(data_[idx].repr.data(), regions_.host_ptr(line), kCachelineBytes);
@@ -227,7 +223,7 @@ bool DoppelgangerSystem::install(uint64_t now, uint64_t line, bool dirty) {
 
 uint64_t DoppelgangerSystem::request(uint64_t now, uint64_t line, bool write) {
   line = line_addr(line);
-  stats_.add("requests");
+  ++counters_.requests;
   last_was_miss_ = false;
   if (TagEntry* t = find_tag(line)) {
     t->lru = ++lru_clock_;
@@ -236,14 +232,12 @@ uint64_t DoppelgangerSystem::request(uint64_t now, uint64_t line, bool write) {
       unshare_for_write(now, *t);
       if (TagEntry* t2 = find_tag(line)) t2->dirty = true;
     }
-    stats_.add("hits");
+    ++counters_.hits;
     return cfg_.llc.latency;
   }
   last_was_miss_ = true;
   const uint64_t lat = dram_.read(now, line, kCachelineBytes);
-  stats_.add(regions_.is_approx(line) ? "traffic_approx_bytes"
-                                      : "traffic_other_bytes",
-             kCachelineBytes);
+  count_traffic(line, kCachelineBytes);
   install(now, line, write);
   return lat + cfg_.llc.latency;
 }
@@ -263,11 +257,21 @@ void DoppelgangerSystem::drain(uint64_t now) {
   for (TagEntry& t : tags_) {
     if (!t.valid || !t.dirty) continue;
     dram_.write(now, t.line, kCachelineBytes);
-    stats_.add(regions_.is_approx(t.line) ? "traffic_approx_bytes"
-                                          : "traffic_other_bytes",
-               kCachelineBytes);
+    count_traffic(t.line, kCachelineBytes);
     t.dirty = false;
   }
+}
+
+StatGroup DoppelgangerSystem::stats() const {
+  StatGroup g("dganger_system");
+  g.add_nonzero("requests", counters_.requests);
+  g.add_nonzero("hits", counters_.hits);
+  g.add_nonzero("dedup_hits", counters_.dedup_hits);
+  g.add_nonzero("unshares", counters_.unshares);
+  g.add_nonzero("data_evictions", counters_.data_evictions);
+  g.add_nonzero("traffic_approx_bytes", counters_.traffic_approx_bytes);
+  g.add_nonzero("traffic_other_bytes", counters_.traffic_other_bytes);
+  return g;
 }
 
 double DoppelgangerSystem::dedup_factor() const {

@@ -25,6 +25,18 @@
 
 namespace avr {
 
+/// Plain-field counters for the Doppelganger request path: one request()
+/// per LLC access, so no string-keyed maps here.
+struct DoppelgangerCounters {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t unshares = 0;
+  uint64_t data_evictions = 0;
+  uint64_t traffic_approx_bytes = 0;
+  uint64_t traffic_other_bytes = 0;
+};
+
 class DoppelgangerSystem : public LlcSystem {
  public:
   DoppelgangerSystem(const SimConfig& cfg, RegionRegistry& regions);
@@ -34,7 +46,8 @@ class DoppelgangerSystem : public LlcSystem {
   void drain(uint64_t now) override;
   bool last_was_miss() const override { return last_was_miss_; }
 
-  const StatGroup& stats() const override { return stats_; }
+  StatGroup stats() const override;
+  const DoppelgangerCounters& counters() const { return counters_; }
   Dram& dram() override { return dram_; }
   const Dram& dram() const override { return dram_; }
 
@@ -66,6 +79,12 @@ class DoppelgangerSystem : public LlcSystem {
   uint32_t alloc_data_entry(uint64_t now, uint64_t key);
   void evict_data_entry(uint64_t now, uint32_t idx);
   void detach_tag(uint64_t now, TagEntry& t, bool write_back);
+  void count_traffic(uint64_t line, uint32_t bytes) {
+    if (regions_.is_approx(line))
+      counters_.traffic_approx_bytes += bytes;
+    else
+      counters_.traffic_other_bytes += bytes;
+  }
   void unshare_for_write(uint64_t now, TagEntry& t);
 
   SimConfig cfg_;
@@ -85,7 +104,7 @@ class DoppelgangerSystem : public LlcSystem {
     bool init = false;
   };
   std::unordered_map<uint64_t, Span> spans_;  // by region base
-  StatGroup stats_{"dganger_system"};
+  DoppelgangerCounters counters_;
   bool last_was_miss_ = false;
 };
 

@@ -12,7 +12,7 @@ void TruncateSystem::truncate_line(uint64_t line) {
 
 uint64_t TruncateSystem::request(uint64_t now, uint64_t line, bool write) {
   line = line_addr(line);
-  stats_.add("requests");
+  ++counters_.requests;
   last_was_miss_ = false;
   if (llc_.access(line, write)) return cfg_.llc.latency;
 

@@ -23,7 +23,7 @@ SetAssocCache::Line* SetAssocCache::find(uint64_t addr) {
   const uint64_t tag = tag_of(addr);
   Line* base = &lines_[set * ways_];
   for (uint32_t w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].tag == tag) return &base[w];
+    if (base[w].tag == tag) return &base[w];
   return nullptr;
 }
 
@@ -52,21 +52,20 @@ Eviction SetAssocCache::fill(uint64_t addr, bool dirty) {
   Line* base = &lines_[set * ways_];
   Line* victim = nullptr;
   for (uint32_t w = 0; w < ways_; ++w) {
-    if (!base[w].valid) {
+    if (!base[w].valid()) {
       victim = &base[w];
       break;
     }
     if (!victim || base[w].lru < victim->lru) victim = &base[w];
   }
   Eviction ev;
-  if (victim->valid) {
+  if (victim->valid()) {
     ev.valid = true;
     ev.dirty = victim->dirty;
     ev.addr = (victim->tag * sets_ + set) * line_bytes_;
     ++counters_.evictions;
     if (ev.dirty) ++counters_.dirty_evictions;
   }
-  victim->valid = true;
   victim->dirty = dirty;
   victim->tag = tag_of(addr);
   victim->lru = ++lru_clock_;
@@ -77,8 +76,9 @@ Eviction SetAssocCache::fill(uint64_t addr, bool dirty) {
 std::optional<bool> SetAssocCache::invalidate(uint64_t addr) {
   Line* l = find(addr);
   if (!l) return std::nullopt;
-  l->valid = false;
-  return l->dirty;
+  const bool dirty = l->dirty;
+  l->tag = kNoTag;
+  return dirty;
 }
 
 bool SetAssocCache::mark_dirty(uint64_t addr) {
@@ -94,7 +94,7 @@ std::vector<std::pair<uint64_t, bool>> SetAssocCache::valid_lines() const {
   for (uint64_t set = 0; set < sets_; ++set)
     for (uint32_t w = 0; w < ways_; ++w) {
       const Line& l = lines_[set * ways_ + w];
-      if (l.valid) out.emplace_back((l.tag * sets_ + set) * line_bytes_, l.dirty);
+      if (l.valid()) out.emplace_back((l.tag * sets_ + set) * line_bytes_, l.dirty);
     }
   return out;
 }

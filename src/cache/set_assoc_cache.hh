@@ -67,11 +67,17 @@ class SetAssocCache {
   StatGroup stats() const;
 
  private:
+  // An invalid line stores the sentinel tag, so the lookup scan — executed
+  // once per instrumented load/store for the L1 — is a single compare per
+  // way instead of a valid-check plus a tag compare. No real tag can be the
+  // sentinel: tags are addr / line_bytes / sets < 2^58.
+  static constexpr uint64_t kNoTag = ~uint64_t{0};
   struct Line {
-    uint64_t tag = 0;
-    bool valid = false;
-    bool dirty = false;
+    uint64_t tag = kNoTag;
     uint64_t lru = 0;  // higher = more recently used
+    bool dirty = false;
+
+    bool valid() const { return tag != kNoTag; }
   };
 
   uint64_t set_of(uint64_t addr) const { return (addr / line_bytes_) & (sets_ - 1); }

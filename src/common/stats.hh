@@ -17,6 +17,13 @@ class StatGroup {
   explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
   void add(const std::string& key, uint64_t delta = 1) { counters_[key] += delta; }
+  /// Snapshot-builder helper: record `value` only when nonzero, so a flat
+  /// counter that was never bumped stays absent — exactly as a never-added
+  /// map key would be. Every component's stats() builder relies on this for
+  /// byte-identical reporting versus the old map-backed counters.
+  void add_nonzero(const std::string& key, uint64_t value) {
+    if (value) counters_[key] += value;
+  }
   void add_f(const std::string& key, double delta) { fcounters_[key] += delta; }
   void set(const std::string& key, uint64_t value) { counters_[key] = value; }
   void set_f(const std::string& key, double value) { fcounters_[key] = value; }

@@ -6,7 +6,10 @@ namespace avr {
 
 MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg, LlcSystem& llc,
                                  uint32_t num_cores)
-    : cfg_(cfg), llc_(llc) {
+    : cfg_(cfg),
+      llc_(llc),
+      lat_l1_(cfg.core.l1_latency),
+      lat_l1l2_(uint64_t{cfg.core.l1_latency} + cfg.core.l2_latency) {
   for (uint32_t c = 0; c < num_cores; ++c) {
     l1_.push_back(std::make_unique<SetAssocCache>("l1." + std::to_string(c),
                                                   cfg.l1.size_bytes, cfg.l1.ways));
@@ -29,15 +32,17 @@ AccessOutcome MemoryHierarchy::access(uint32_t core, uint64_t now, uint64_t addr
   ++accesses_;
   AccessOutcome out;
 
-  if (l1_[core]->access(addr, write)) {
-    out.latency = cfg_.core.l1_latency;
+  SetAssocCache& l1 = *l1_[core];
+  if (l1.access(addr, write)) {
+    out.latency = lat_l1_;
     out.level = ServedBy::kL1;
     latency_sum_ += out.latency;
     return out;
   }
 
-  if (l2_[core]->access(addr, /*write=*/false)) {
-    out.latency = cfg_.core.l1_latency + cfg_.core.l2_latency;
+  SetAssocCache& l2 = *l2_[core];
+  if (l2.access(addr, /*write=*/false)) {
+    out.latency = lat_l1l2_;
     out.level = ServedBy::kL2;
   } else {
     ++llc_requests_;
@@ -48,13 +53,13 @@ AccessOutcome MemoryHierarchy::access(uint32_t core, uint64_t now, uint64_t addr
     } else {
       out.level = ServedBy::kLlc;
     }
-    out.latency = cfg_.core.l1_latency + cfg_.core.l2_latency + llc_lat;
-    const Eviction ev2 = l2_[core]->fill(addr, /*dirty=*/false);
+    out.latency = lat_l1l2_ + llc_lat;
+    const Eviction ev2 = l2.fill(addr, /*dirty=*/false);
     if (ev2.valid && ev2.dirty) llc_.writeback(now, ev2.addr);
   }
 
   // Fill L1 (write-allocate: the store dirties the L1 copy).
-  const Eviction ev1 = l1_[core]->fill(addr, write);
+  const Eviction ev1 = l1.fill(addr, write);
   evict_from_l1(core, now, ev1);
   latency_sum_ += out.latency;
   return out;

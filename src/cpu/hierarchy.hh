@@ -53,6 +53,11 @@ class MemoryHierarchy {
   LlcSystem& llc_;
   std::vector<std::unique_ptr<SetAssocCache>> l1_;
   std::vector<std::unique_ptr<SetAssocCache>> l2_;
+  // Per-access invariants hoisted out of access(): the latency ladder is
+  // config-constant, so the hot path adds plain members instead of chasing
+  // two levels of config structs per instrumented load/store.
+  uint64_t lat_l1_ = 0;    // L1 hit
+  uint64_t lat_l1l2_ = 0;  // L1 miss, L2 hit
   uint64_t llc_requests_ = 0;
   uint64_t llc_misses_ = 0;
   uint64_t accesses_ = 0;

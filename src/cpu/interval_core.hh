@@ -19,10 +19,14 @@ namespace avr {
 class IntervalCore {
  public:
   IntervalCore(const CoreConfig& cfg, MemoryHierarchy& mem, uint32_t id)
-      : cfg_(cfg), mem_(mem), id_(id) {
-    // ILP a full ROB can hide under perfect overlap.
-    hide_cycles_ = cfg.rob_size / cfg.dispatch_width;
-  }
+      : mem_(mem),
+        id_(id),
+        // Per-access invariants, hoisted so memory_op touches plain members
+        // instead of re-deriving them from the config struct every access.
+        dispatch_width_(cfg.dispatch_width),
+        rob_size_(cfg.rob_size),
+        // ILP a full ROB can hide under perfect overlap.
+        hide_cycles_(cfg.rob_size / cfg.dispatch_width) {}
 
   /// Commit `n` non-memory instructions.
   void ops(uint64_t n) {
@@ -34,9 +38,7 @@ class IntervalCore {
   void load(uint64_t addr) { memory_op(addr, /*write=*/false); }
   void store(uint64_t addr) { memory_op(addr, /*write=*/true); }
 
-  uint64_t cycles() const {
-    return stall_cycles_ + base_work_ / cfg_.dispatch_width;
-  }
+  uint64_t cycles() const { return stall_cycles_ + base_work_ / dispatch_width_; }
   uint64_t instructions() const { return instructions_; }
   double ipc() const {
     const uint64_t c = cycles();
@@ -54,7 +56,7 @@ class IntervalCore {
     // charges only the completion tail — so a burst of k misses costs one
     // exposed latency plus (k-1) transfer slots, i.e. bandwidth-bound.
     const bool in_window =
-        window_done_ != 0 && (instructions_ - window_first_instr_ < cfg_.rob_size);
+        window_done_ != 0 && (instructions_ - window_first_instr_ < rob_size_);
     const uint64_t issue = in_window ? window_issue_ : cycles();
     const AccessOutcome out = mem_.access(id_, issue, addr, write);
     // Only latencies beyond what the ROB hides become stalls; on-chip hits
@@ -75,10 +77,12 @@ class IntervalCore {
     }
   }
 
-  CoreConfig cfg_;
   MemoryHierarchy& mem_;
   uint32_t id_;
-  uint64_t hide_cycles_ = 48;
+  // Set once in the constructor; see the init list.
+  uint64_t dispatch_width_;
+  uint64_t rob_size_;
+  uint64_t hide_cycles_;
   uint64_t instructions_ = 0;
   uint64_t base_work_ = 0;     // instructions contributing width-limited cycles
   uint64_t stall_cycles_ = 0;  // exposed miss penalties

@@ -1,36 +1,51 @@
 #include "dram/dram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/types.hh"
 
 namespace avr {
+namespace {
+
+uint32_t checked_log2(uint64_t v, const char* what) {
+  if (v == 0 || !std::has_single_bit(v))
+    throw std::invalid_argument(std::string("DramConfig: ") + what +
+                                " must be a nonzero power of two");
+  return static_cast<uint32_t>(std::countr_zero(v));
+}
+
+}  // namespace
 
 Dram::Dram(const DramConfig& cfg) : cfg_(cfg) {
+  // Validate the geometry up front: a bad config must fail construction with
+  // a clear message, not divide by zero in the per-access address mapping
+  // (row_bytes < kBlockBytes made the old bank_of/row_of divide by 0).
+  channel_shift_ = checked_log2(cfg.channels, "channels");
+  bank_shift_ = checked_log2(cfg.banks_per_channel, "banks_per_channel");
+  const uint32_t row_shift = checked_log2(cfg.row_bytes, "row_bytes");
+  block_shift_ = static_cast<uint32_t>(std::countr_zero(kBlockBytes));
+  if (cfg.row_bytes < kBlockBytes)
+    throw std::invalid_argument(
+        "DramConfig: row_bytes must be >= the 1 KB memory block (the "
+        "bank/row interleaving is block-granular)");
+  blocks_per_row_shift_ = row_shift - block_shift_;
+  if (cfg.cpu_per_dram_cycle == 0)
+    throw std::invalid_argument("DramConfig: cpu_per_dram_cycle must be nonzero");
+  channel_mask_ = cfg.channels - 1;
+  bank_mask_ = cfg.banks_per_channel - 1;
+
   channels_.resize(cfg.channels);
   for (auto& ch : channels_) ch.banks.resize(cfg.banks_per_channel);
   t_cl_ = uint64_t{cfg.t_cl} * cfg.cpu_per_dram_cycle;
   t_rcd_ = uint64_t{cfg.t_rcd} * cfg.cpu_per_dram_cycle;
   t_rp_ = uint64_t{cfg.t_rp} * cfg.cpu_per_dram_cycle;
   t_burst_ = uint64_t{cfg.t_burst} * cfg.cpu_per_dram_cycle;
-}
-
-uint32_t Dram::channel_of(uint64_t addr) const {
-  // Channel interleaving at memory-block (1 KB) granularity so a whole AVR
-  // block transfer stays on one channel and streams from one row.
-  return static_cast<uint32_t>((addr / kBlockBytes) % cfg_.channels);
-}
-
-uint32_t Dram::bank_of(uint64_t addr) const {
-  const uint64_t per_channel = addr / (kBlockBytes * cfg_.channels);
-  return static_cast<uint32_t>((per_channel / (cfg_.row_bytes / kBlockBytes)) %
-                               cfg_.banks_per_channel);
-}
-
-uint64_t Dram::row_of(uint64_t addr) const {
-  const uint64_t per_channel = addr / (kBlockBytes * cfg_.channels);
-  return per_channel / (cfg_.row_bytes / kBlockBytes) / cfg_.banks_per_channel;
+  // Transfer granularity is half a cacheline (32 B, DDR4 burst-chop), so the
+  // Truncate baseline's 32 B line transfers occupy the bus for half the time.
+  half_burst_ = std::max<uint64_t>(t_burst_ / 2, 1);
 }
 
 uint64_t Dram::access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write,
@@ -43,36 +58,40 @@ uint64_t Dram::access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write
 
   if (!bank.row_open) {
     t += t_rcd_;  // activate
-    stats_.add("activations");
+    ++counters_.activations;
     bank.row_open = true;
     bank.open_row = row;
   } else if (bank.open_row != row) {
     t += t_rp_ + t_rcd_;  // precharge + activate
-    stats_.add("activations");
-    stats_.add("row_conflicts");
+    ++counters_.activations;
+    ++counters_.row_conflicts;
     bank.open_row = row;
   } else {
-    stats_.add("row_hits");
+    ++counters_.row_hits;
   }
 
-  // Transfer granularity is half a cacheline (32 B, DDR4 burst-chop), so the
-  // Truncate baseline's 32 B line transfers occupy the bus for half the time.
-  const uint64_t half_burst = std::max<uint64_t>(t_burst_ / 2, 1);
+  // 32 B burst chops; see half_burst_ in the constructor.
   const uint32_t chops = static_cast<uint32_t>((bytes + 31) / 32);
-  const uint64_t first_len = std::min<uint64_t>(chops, 2) * half_burst;
+  const uint64_t first_len = std::min<uint64_t>(chops, 2) * half_burst_;
 
   // Column access; data beats occupy the channel bus back to back.
   uint64_t bus_start = std::max(t + t_cl_, ch.bus_free_at);
   const uint64_t first_done = bus_start + first_len;
-  const uint64_t all_done = bus_start + uint64_t{chops} * half_burst;
+  const uint64_t all_done = bus_start + uint64_t{chops} * half_burst_;
 
   ch.bus_free_at = all_done;
-  ch.busy_cycles += uint64_t{chops} * half_burst;
+  ch.busy_cycles += uint64_t{chops} * half_burst_;
   bank.ready_at = all_done;
   if (stream_done) *stream_done = all_done;
 
-  stats_.add(is_write ? "writes" : "reads");
-  stats_.add(is_write ? "bytes_written" : "bytes_read", uint64_t{chops} * 32);
+  const uint64_t chop_bytes = uint64_t{chops} * 32;
+  if (is_write) {
+    ++counters_.writes;
+    counters_.bytes_written += chop_bytes;
+  } else {
+    ++counters_.reads;
+    counters_.bytes_read += chop_bytes;
+  }
   return first_done - now;
 }
 
@@ -80,14 +99,30 @@ uint64_t Dram::read(uint64_t now, uint64_t addr, uint32_t bytes) {
   assert(bytes > 0);
   uint64_t stream_done = 0;
   const uint64_t lat = access(now, addr, bytes, /*is_write=*/false, &stream_done);
-  stats_.add("read_latency_total", lat);
+  counters_.read_latency_total += lat;
   return lat;
 }
 
 uint64_t Dram::write(uint64_t now, uint64_t addr, uint32_t bytes) {
   assert(bytes > 0);
   uint64_t stream_done = 0;
-  return access(now, addr, bytes, /*is_write=*/true, &stream_done);
+  const uint64_t lat = access(now, addr, bytes, /*is_write=*/true, &stream_done);
+  counters_.write_latency_total += lat;
+  return lat;
+}
+
+StatGroup Dram::stats() const {
+  StatGroup g("dram");
+  g.add_nonzero("reads", counters_.reads);
+  g.add_nonzero("writes", counters_.writes);
+  g.add_nonzero("bytes_read", counters_.bytes_read);
+  g.add_nonzero("bytes_written", counters_.bytes_written);
+  g.add_nonzero("activations", counters_.activations);
+  g.add_nonzero("row_hits", counters_.row_hits);
+  g.add_nonzero("row_conflicts", counters_.row_conflicts);
+  g.add_nonzero("read_latency_total", counters_.read_latency_total);
+  g.add_nonzero("write_latency_total", counters_.write_latency_total);
+  return g;
 }
 
 uint64_t Dram::max_channel_busy() const {

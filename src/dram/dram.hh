@@ -17,8 +17,27 @@
 
 namespace avr {
 
+/// Plain-field counters, bumped on every access: this model sits behind
+/// every LLC miss of every design point, so no string-keyed maps here
+/// (same convention as CacheCounters in cache/set_assoc_cache.hh).
+struct DramCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t activations = 0;
+  uint64_t row_hits = 0;
+  uint64_t row_conflicts = 0;
+  uint64_t read_latency_total = 0;
+  uint64_t write_latency_total = 0;
+};
+
 class Dram {
  public:
+  /// Validates the geometry: channels, banks_per_channel and row_bytes must
+  /// be nonzero powers of two, row_bytes >= kBlockBytes (the bank/row mapping
+  /// divides by row_bytes / kBlockBytes), and the clock ratio nonzero.
+  /// Throws std::invalid_argument otherwise.
   explicit Dram(const DramConfig& cfg);
 
   /// Issue a read of `bytes` starting at `addr` at CPU time `now`.
@@ -30,13 +49,16 @@ class Dram {
   /// never waits on but which keeps banks/bus busy.
   uint64_t write(uint64_t now, uint64_t addr, uint32_t bytes);
 
-  const StatGroup& stats() const { return stats_; }
-  StatGroup& stats() { return stats_; }
+  const DramCounters& counters() const { return counters_; }
+  /// Snapshot of the counters as a StatGroup (cold path, for reporting).
+  /// Keys match the historical string-keyed counters; zero-valued counters
+  /// are omitted, exactly as a never-touched map key used to be.
+  StatGroup stats() const;
 
-  uint64_t bytes_read() const { return stats_.get("bytes_read"); }
-  uint64_t bytes_written() const { return stats_.get("bytes_written"); }
+  uint64_t bytes_read() const { return counters_.bytes_read; }
+  uint64_t bytes_written() const { return counters_.bytes_written; }
   uint64_t total_bytes() const { return bytes_read() + bytes_written(); }
-  uint64_t activations() const { return stats_.get("activations"); }
+  uint64_t activations() const { return counters_.activations; }
 
   /// Busy time of the most loaded channel, for bandwidth-utilization stats.
   uint64_t max_channel_busy() const;
@@ -58,15 +80,33 @@ class Dram {
   uint64_t access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write,
                   uint64_t* stream_done);
 
-  uint32_t channel_of(uint64_t addr) const;
-  uint32_t bank_of(uint64_t addr) const;
-  uint64_t row_of(uint64_t addr) const;
+  // Address mapping, all shift/mask: the constructor validated that every
+  // divisor is a power of two.
+  uint32_t channel_of(uint64_t addr) const {
+    return static_cast<uint32_t>((addr >> block_shift_) & channel_mask_);
+  }
+  uint32_t bank_of(uint64_t addr) const {
+    return static_cast<uint32_t>(
+        (addr >> (block_shift_ + channel_shift_ + blocks_per_row_shift_)) &
+        bank_mask_);
+  }
+  uint64_t row_of(uint64_t addr) const {
+    return addr >>
+           (block_shift_ + channel_shift_ + blocks_per_row_shift_ + bank_shift_);
+  }
 
   DramConfig cfg_;
   std::vector<Channel> channels_;
-  StatGroup stats_{"dram"};
+  DramCounters counters_;
   // Timings pre-converted to CPU cycles.
-  uint64_t t_cl_, t_rcd_, t_rp_, t_burst_;
+  uint64_t t_cl_, t_rcd_, t_rp_, t_burst_, half_burst_;
+  // Address-mapping shifts/masks, precomputed at construction.
+  uint32_t block_shift_ = 0;           // log2(kBlockBytes)
+  uint32_t channel_shift_ = 0;         // log2(channels)
+  uint32_t blocks_per_row_shift_ = 0;  // log2(row_bytes / kBlockBytes)
+  uint32_t bank_shift_ = 0;            // log2(banks_per_channel)
+  uint64_t channel_mask_ = 0;
+  uint64_t bank_mask_ = 0;
 };
 
 }  // namespace avr

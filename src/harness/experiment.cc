@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <thread>
 
 #include "harness/result_cache.hh"
@@ -40,10 +42,16 @@ std::string ExperimentRunner::default_cache_path() {
   return "avr_results_cache.csv";
 }
 
+std::string ExperimentRunner::default_seed_cost_path() {
+  if (const char* p = std::getenv("AVR_SEED_COSTS")) return p;
+  return "data/seed_costs.csv";
+}
+
 ExperimentRunner::ExperimentRunner(SimConfig base, bool verbose,
                                    std::string cache_path)
     : base_(base), verbose_(verbose), cache_path_(std::move(cache_path)) {
   load_disk_cache();
+  load_seed_costs();
 }
 
 void ExperimentRunner::load_disk_cache() {
@@ -53,6 +61,35 @@ void ExperimentRunner::load_disk_cache() {
   if (verbose_ && !cache_.empty())
     std::fprintf(stderr, "[cache] loaded %zu results from %s\n", cache_.size(),
                  cache_path_.c_str());
+}
+
+void ExperimentRunner::load_seed_costs() {
+  // Format: "workload,design_name,seconds", one point per line; '#' starts a
+  // comment. Unknown workloads/designs and malformed lines are skipped, so a
+  // stale seed file can never break a sweep — it only degrades scheduling.
+  // The path is CWD-relative by default, so a binary launched outside the
+  // repo root simply runs without the seed; the "[cost] loaded" line below
+  // (mirroring "[cache] loaded") is how to tell which case you're in.
+  std::ifstream in(default_seed_cost_path());
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string wl, design, secs;
+    if (!std::getline(ls, wl, ',') || !std::getline(ls, design, ',') ||
+        !std::getline(ls, secs))
+      continue;
+    try {
+      const double v = std::stod(secs);
+      if (v > 0) seed_costs_[{wl, sweep::design_from_name(design)}] = v;
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  if (verbose_ && !seed_costs_.empty())
+    std::fprintf(stderr, "[cost] loaded %zu seed cost estimates from %s\n",
+                 seed_costs_.size(), default_seed_cost_path().c_str());
 }
 
 SimConfig ExperimentRunner::config_for(const Workload& wl) const {
@@ -96,6 +133,10 @@ double ExperimentRunner::cost_estimate(const std::string& wl, Design d) {
     if (it != cache_.end() && it->second.wall_seconds > 0)
       return it->second.wall_seconds;
   }
+  // Cold cache: the committed seed costs (measured on the default config)
+  // still order points far better than the footprint heuristic below.
+  if (auto it = seed_costs_.find({wl, d}); it != seed_costs_.end())
+    return it->second;
   uint64_t footprint = 64 * 1024;
   try {
     footprint = make_workload(wl)->llc_bytes();

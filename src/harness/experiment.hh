@@ -40,6 +40,12 @@ class ExperimentRunner {
                             std::string cache_path = default_cache_path());
 
   static std::string default_cache_path();
+  /// Committed per-point cost seed (see data/seed_costs.csv): measured
+  /// wall_seconds for the default-config grid, so even the very first
+  /// cold-cache sweep schedules longest-first instead of falling back to the
+  /// footprint x design heuristic. The environment variable AVR_SEED_COSTS
+  /// overrides the path; a missing file just disables the seed.
+  static std::string default_seed_cost_path();
 
   /// Run one (workload, design) point. Golden outputs are computed once per
   /// workload and cached; results are cached too, so table printers can
@@ -72,8 +78,9 @@ class ExperimentRunner {
 
   /// Estimated cost of a point, in arbitrary but mutually comparable units.
   /// A persisted wall_seconds measurement (loaded from the disk cache or
-  /// observed this process) wins; otherwise a static heuristic scales the
-  /// workload's footprint by a per-design factor.
+  /// observed this process) wins, then the committed seed-cost file, then a
+  /// static heuristic scaling the workload's footprint by a per-design
+  /// factor.
   double cost_estimate(const std::string& wl, Design d);
 
   /// All four comparison designs of Sec. 4 plus the baseline.
@@ -96,10 +103,13 @@ class ExperimentRunner {
  private:
   const std::vector<double>& golden(const std::string& wl);
   void load_disk_cache();
+  void load_seed_costs();
 
   SimConfig base_;
   bool verbose_;
   std::string cache_path_;
+  // Immutable after construction; read without mu_.
+  std::map<std::pair<std::string, Design>, double> seed_costs_;
   std::atomic<size_t> disk_write_failures_{0};
   // mu_ guards golden_, golden_once_ and cache_. Both maps are node-based,
   // so references handed out stay valid across concurrent inserts; nothing

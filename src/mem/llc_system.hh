@@ -31,7 +31,10 @@ class LlcSystem {
   /// Used for MPKI accounting by the hierarchy.
   virtual bool last_was_miss() const = 0;
 
-  virtual const StatGroup& stats() const = 0;
+  /// Snapshot of the design's counters (cold path: built on demand from the
+  /// plain-field counters every implementation keeps on its hot paths —
+  /// never call this per access). Zero-valued counters are omitted.
+  virtual StatGroup stats() const = 0;
   virtual Dram& dram() = 0;
   virtual const Dram& dram() const = 0;
 };

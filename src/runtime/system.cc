@@ -69,7 +69,7 @@ RunMetrics System::metrics() const {
 
   const Dram& dram = llc_->dram();
   m.dram_bytes = dram.total_bytes();
-  const StatGroup& s = llc_->stats();
+  const StatGroup s = llc_->stats();  // cold-path snapshot of the flat counters
   m.dram_bytes_approx = s.get("traffic_approx_bytes");
   m.dram_bytes_other = s.get("traffic_other_bytes");
   for (const auto& [k, v] : s.counters()) m.detail[k] = v;

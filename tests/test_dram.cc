@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/types.hh"
 
 namespace avr {
@@ -61,6 +63,85 @@ TEST(Dram, HalfLineTransfersCountHalfBytes) {
   Dram d3(cfg());
   const uint64_t half = d3.read(0, 0x0, 32);
   EXPECT_LE(half, full);
+}
+
+TEST(Dram, ReadAndWriteLatencyStatsBothAdvance) {
+  // Dram::write used to silently drop the latency accumulation that
+  // Dram::read performs; both must advance their *_latency_total counter.
+  Dram d(cfg());
+  const uint64_t rlat = d.read(0, 0x0, 64);
+  EXPECT_EQ(d.counters().read_latency_total, rlat);
+  EXPECT_EQ(d.counters().write_latency_total, 0u);
+  const uint64_t wlat = d.write(0, 0x10000, 64);
+  EXPECT_GT(wlat, 0u);
+  EXPECT_EQ(d.counters().write_latency_total, wlat);
+  EXPECT_EQ(d.counters().read_latency_total, rlat);  // unchanged by the write
+  // The snapshot exposes both under the historical key names.
+  EXPECT_EQ(d.stats().get("read_latency_total"), rlat);
+  EXPECT_EQ(d.stats().get("write_latency_total"), wlat);
+}
+
+TEST(Dram, StatsSnapshotMatchesCounters) {
+  Dram d(cfg());
+  d.read(0, 0x0, 1024);
+  d.write(0, 0x40, 64);
+  const StatGroup g = d.stats();
+  EXPECT_EQ(g.get("reads"), d.counters().reads);
+  EXPECT_EQ(g.get("writes"), d.counters().writes);
+  EXPECT_EQ(g.get("bytes_read"), d.counters().bytes_read);
+  EXPECT_EQ(g.get("bytes_written"), d.counters().bytes_written);
+  EXPECT_EQ(g.get("activations"), d.counters().activations);
+  // Zero-valued counters are omitted from the snapshot (a never-touched
+  // string key was absent from the old map-backed StatGroup too).
+  Dram fresh(cfg());
+  EXPECT_EQ(fresh.stats().counters().size(), 0u);
+}
+
+TEST(DramConfigValidation, RowSmallerThanBlockIsRejected) {
+  // row_bytes < 1 KB made bank_of/row_of divide by zero in the seed model.
+  DramConfig c;
+  c.row_bytes = 512;
+  EXPECT_THROW(Dram{c}, std::invalid_argument);
+}
+
+TEST(DramConfigValidation, NonPowerOfTwoGeometryIsRejected) {
+  {
+    DramConfig c;
+    c.channels = 3;
+    EXPECT_THROW(Dram{c}, std::invalid_argument);
+  }
+  {
+    DramConfig c;
+    c.banks_per_channel = 12;
+    EXPECT_THROW(Dram{c}, std::invalid_argument);
+  }
+  {
+    DramConfig c;
+    c.row_bytes = 3000;
+    EXPECT_THROW(Dram{c}, std::invalid_argument);
+  }
+}
+
+TEST(DramConfigValidation, ZeroFieldsAreRejected) {
+  for (auto mutate : {+[](DramConfig& c) { c.channels = 0; },
+                      +[](DramConfig& c) { c.banks_per_channel = 0; },
+                      +[](DramConfig& c) { c.row_bytes = 0; },
+                      +[](DramConfig& c) { c.cpu_per_dram_cycle = 0; }}) {
+    DramConfig c;
+    mutate(c);
+    EXPECT_THROW(Dram{c}, std::invalid_argument);
+  }
+}
+
+TEST(DramConfigValidation, ValidConfigsConstructAndMapBanks) {
+  // A legal non-default geometry must construct and spread rows over banks.
+  DramConfig c;
+  c.channels = 4;
+  c.banks_per_channel = 8;
+  c.row_bytes = 4096;
+  Dram d(c);
+  d.read(0, 0x0, 64);
+  EXPECT_EQ(d.activations(), 1u);
 }
 
 TEST(Dram, ActivationsCounted) {

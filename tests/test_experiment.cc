@@ -5,12 +5,36 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 
+#include "harness/result_cache.hh"
 #include "workloads/workload_registry.hh"
 
 namespace avr {
 namespace {
+
+/// Points AVR_SEED_COSTS somewhere for one test, restoring the previous
+/// value on destruction (the override could otherwise leak into sibling
+/// tests, or clobber a value the developer exported).
+class ScopedSeedCosts {
+ public:
+  explicit ScopedSeedCosts(const std::string& path) {
+    if (const char* prev = ::getenv("AVR_SEED_COSTS")) previous_ = prev;
+    ::setenv("AVR_SEED_COSTS", path.c_str(), 1);
+  }
+  ~ScopedSeedCosts() {
+    if (previous_)
+      ::setenv("AVR_SEED_COSTS", previous_->c_str(), 1);
+    else
+      ::unsetenv("AVR_SEED_COSTS");
+  }
+
+ private:
+  std::optional<std::string> previous_;
+};
 
 TEST(ExperimentRunner, ConfigForAppliesWorkloadKnobs) {
   ExperimentRunner r({}, false, "");
@@ -59,10 +83,59 @@ TEST(ExperimentRunner, DiskCacheRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(ExperimentRunner, CostEstimateUsesSeedCostFileOnColdCache) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "avr_test_seed_costs.csv";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "kmeans,baseline,7.25\n";
+    out << "kmeans,AVR,31.5\n";
+    out << "nosuchworkload,baseline,1.0\n";  // tolerated: never queried
+    out << "kmeans,nosuchdesign,1.0\n";      // skipped: unknown design
+    out << "malformed line without commas\n";
+  }
+  ScopedSeedCosts env(path);
+  ExperimentRunner r({}, false, "");
+  // Cold cache: the committed measurement wins over the heuristic.
+  EXPECT_DOUBLE_EQ(r.cost_estimate("kmeans", Design::kBaseline), 7.25);
+  EXPECT_DOUBLE_EQ(r.cost_estimate("kmeans", Design::kAvr), 31.5);
+  // Unlisted points still fall back to the heuristic.
+  EXPECT_GT(r.cost_estimate("lbm", Design::kAvr), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentRunner, MeasuredWallSecondsBeatSeedCosts) {
+  const std::string seed_path =
+      std::filesystem::temp_directory_path() / "avr_test_seed_costs2.csv";
+  const std::string cache_path =
+      std::filesystem::temp_directory_path() / "avr_test_seed_cache.csv";
+  std::remove(cache_path.c_str());
+  {
+    std::ofstream out(seed_path);
+    out << "kmeans,baseline,7.0\n";
+  }
+  ExperimentResult res;
+  res.workload = "kmeans";
+  res.design = Design::kBaseline;
+  res.wall_seconds = 42.0;
+  ASSERT_TRUE(append_result_line(cache_path, res));
+
+  ScopedSeedCosts env(seed_path);
+  ExperimentRunner r({}, false, cache_path);
+  // A persisted measurement from a real run outranks the committed seed.
+  EXPECT_DOUBLE_EQ(r.cost_estimate("kmeans", Design::kBaseline), 42.0);
+  std::remove(seed_path.c_str());
+  std::remove(cache_path.c_str());
+}
+
 TEST(ExperimentRunner, CostEstimateHeuristicOrdersDesignsByWork) {
   // With nothing cached the estimate falls back to the static heuristic:
   // compression designs cost more than the baseline on the same workload,
   // and a bigger-footprint workload costs more than a smaller one.
+  // (Point AVR_SEED_COSTS at a nonexistent file in case the build tree ever
+  // gains a data/seed_costs.csv relative to the test's working directory.)
+  ScopedSeedCosts env("/nonexistent/avr_seed_costs.csv");
   ExperimentRunner r({}, false, "");
   EXPECT_GT(r.cost_estimate("kmeans", Design::kAvr),
             r.cost_estimate("kmeans", Design::kBaseline));
