@@ -2,15 +2,16 @@
 """Compare fresh bench_micro_* results against the committed baseline.
 
 Usage:
-    compare_bench.py BENCH_PR3.json fresh1.json [fresh2.json ...]
+    compare_bench.py BENCH_PR4.json fresh1.json [fresh2.json ...]
 
 The baseline file holds ns/iteration numbers under a "post" key (see
-BENCH_PR3.json); the fresh files are Google Benchmark --benchmark_format=json
+BENCH_PR4.json); the fresh files are Google Benchmark --benchmark_format=json
 outputs. Absolute times are machine-dependent, so the report shows the
 current/baseline ratio per benchmark and flags entries slower than
---threshold (default 1.5x). Exits 1 if anything is flagged — the CI job that
-runs this is non-blocking, so a flag is a visible warning in the job log,
-not a failed build.
+--threshold (default 1.5x). Exits 1 if anything is flagged — the CI
+microbench job runs this blockingly with a generous --threshold 3.0, so a
+flag there fails the build; locally the tighter default catches smaller
+regressions early.
 """
 
 import argparse
@@ -26,7 +27,7 @@ def load_benchmark_json(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed baseline (BENCH_PR3.json)")
+    ap.add_argument("baseline", help="committed baseline (BENCH_PR4.json)")
     ap.add_argument("fresh", nargs="+", help="Google Benchmark JSON outputs")
     ap.add_argument("--threshold", type=float, default=1.5,
                     help="flag benchmarks slower than this ratio (default 1.5)")

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Install the clang-format version the blocking CI format job pins
+# (clang-format-18), so `clang-format-18` runs locally exactly as in CI.
+#
+# Tries, in order:
+#   1. nothing (already installed);
+#   2. the distro package manager (apt/dnf/pacman/brew);
+#   3. apt with the upstream LLVM repository (Ubuntu/Debian whose default
+#      archive predates LLVM 18), via the official llvm.sh bootstrapper.
+#
+# Usage:  scripts/install_clang_format.sh
+# Verify: clang-format-18 --version
+# Format: clang-format-18 -i $(git ls-files '*.cc' '*.hh' '*.cpp')
+set -euo pipefail
+
+readonly MAJOR=18
+
+ok() {
+  command -v "clang-format-${MAJOR}" >/dev/null 2>&1
+}
+
+verify() {
+  if ! ok; then
+    return 1
+  fi
+  local v
+  v=$("clang-format-${MAJOR}" --version)
+  case "$v" in
+    *" ${MAJOR}."*) echo "installed: $v" ;;
+    *)
+      echo "error: clang-format-${MAJOR} reports an unexpected version: $v" >&2
+      return 1
+      ;;
+  esac
+}
+
+if verify; then
+  exit 0
+fi
+
+SUDO=""
+if [ "$(id -u)" -ne 0 ] && command -v sudo >/dev/null 2>&1; then
+  SUDO="sudo"
+fi
+
+# 2. Distro package managers. Each branch is best-effort: failure falls
+#    through to the LLVM-repo path below.
+if command -v apt-get >/dev/null 2>&1; then
+  $SUDO apt-get update && $SUDO apt-get install -y "clang-format-${MAJOR}" || true
+elif command -v dnf >/dev/null 2>&1; then
+  # Fedora ships versioned clang-tools-extra; the binary is clang-format
+  # with the major baked into the package version.
+  $SUDO dnf install -y "clang-tools-extra" || true
+  if ! ok && command -v clang-format >/dev/null 2>&1 &&
+     clang-format --version | grep -q " ${MAJOR}\."; then
+    $SUDO ln -sf "$(command -v clang-format)" "/usr/local/bin/clang-format-${MAJOR}"
+  fi
+elif command -v pacman >/dev/null 2>&1; then
+  $SUDO pacman -S --noconfirm clang || true
+  if ! ok && command -v clang-format >/dev/null 2>&1 &&
+     clang-format --version | grep -q " ${MAJOR}\."; then
+    $SUDO ln -sf "$(command -v clang-format)" "/usr/local/bin/clang-format-${MAJOR}"
+  fi
+elif command -v brew >/dev/null 2>&1; then
+  brew install "llvm@${MAJOR}" || true
+  if ! ok; then
+    prefix=$(brew --prefix "llvm@${MAJOR}" 2>/dev/null || true)
+    if [ -n "$prefix" ] && [ -x "$prefix/bin/clang-format" ]; then
+      ln -sf "$prefix/bin/clang-format" "/usr/local/bin/clang-format-${MAJOR}"
+    fi
+  fi
+fi
+
+if verify; then
+  exit 0
+fi
+
+# 3. Debian/Ubuntu whose archive predates LLVM 18: the official apt
+#    bootstrapper adds apt.llvm.org for this exact major.
+if command -v apt-get >/dev/null 2>&1 && command -v curl >/dev/null 2>&1; then
+  tmp=$(mktemp)
+  curl -fsSL https://apt.llvm.org/llvm.sh -o "$tmp"
+  $SUDO bash "$tmp" "${MAJOR}"
+  rm -f "$tmp"
+  $SUDO apt-get install -y "clang-format-${MAJOR}" || true
+fi
+
+if verify; then
+  exit 0
+fi
+
+echo "error: could not install clang-format-${MAJOR} with the available" >&2
+echo "package managers. Install LLVM ${MAJOR} manually (https://llvm.org) or" >&2
+echo "let CI's format job reformat: it pins clang-format-${MAJOR} too." >&2
+exit 1

@@ -39,7 +39,7 @@ void AvrSystem::dram_write(uint64_t now, uint64_t addr, uint32_t bytes,
 AvrSystem::CompressOutcome AvrSystem::compress_block_values(uint64_t block) {
   ++counters_.compress_attempts;
   auto vals = regions_.block_values(block);
-  auto att = compressor_.compress(vals, dtype_of(block));
+  auto att = compressor_.compress(vals, dtype_of(block), scratch_);
   if (!att) {
     ++counters_.compress_failures;
     return {};

@@ -95,10 +95,11 @@ class AvrSystem : public LlcSystem {
     Method method = Method::kUncompressed;
     int8_t bias = 0;
   };
-  /// Runs the compressor on the block's current backing values. On success
-  /// applies the reconstruction to the backing store (the functional effect
-  /// of the block now living in compressed form) and returns the compressed
-  /// size/method/bias; lines == 0 on failure. Counts compressor events.
+  /// Runs the compressor on the block's current backing values, reusing
+  /// this subsystem's scratch_. On success applies the reconstruction to
+  /// the backing store (the functional effect of the block now living in
+  /// compressed form) and returns the compressed size/method/bias;
+  /// lines == 0 on failure. Counts compressor events.
   CompressOutcome compress_block_values(uint64_t block);
 
   /// Fig. 8, dirty-UCL branch.
@@ -119,6 +120,11 @@ class AvrSystem : public LlcSystem {
   AvrLlc llc_;
   Cmt cmt_;
   Compressor compressor_;
+  // Scratch-ownership convention: the per-event caller owns the pipeline's
+  // working buffers and threads them through every compression attempt, so
+  // the datapath never allocates. One scratch per AvrSystem suffices —
+  // compression events within one simulated system are serial.
+  CompressorScratch scratch_;
   Dbuf dbuf_;
   AvrSystemCounters counters_;
   bool last_was_miss_ = false;

@@ -7,16 +7,18 @@
 namespace avr {
 
 int8_t choose_bias(std::span<const float, kValuesPerBlock> vals) {
-  int e_max = -1;
+  // Branch-free exponent min/max pass (vectorizable): zero/denormal values
+  // contribute the identity of each reduction, and a NaN/Inf value (e = 255)
+  // surfaces as e_max == 255 afterwards — same outcome as bailing mid-loop.
+  int e_max = 0;
   int e_min = 256;
   for (float v : vals) {
-    const uint32_t e = f32_exponent(v);
-    if (e == kExponentMask) return 0;  // NaN/Inf present: skip biasing
-    if (e == 0) continue;              // zero/denormal: unaffected by bias
-    e_max = std::max(e_max, static_cast<int>(e));
-    e_min = std::min(e_min, static_cast<int>(e));
+    const int e = static_cast<int>(f32_exponent(v));
+    e_max = std::max(e_max, e);
+    e_min = std::min(e_min, e == 0 ? 256 : e);
   }
-  if (e_max < 0) return 0;  // all zero/denormal
+  if (e_max == static_cast<int>(kExponentMask)) return 0;  // NaN/Inf present
+  if (e_max == 0) return 0;                                // all zero/denormal
 
   int bias = kBiasTargetExponent - e_max;
   // Clamp so no value's exponent over- or underflows (paper rule b); if the
@@ -33,9 +35,14 @@ void apply_bias(std::span<float, kValuesPerBlock> vals, int8_t bias) {
   for (float& v : vals) v = f32_scale_exponent(v, bias);
 }
 
-float unbias_value(float v, int8_t bias) {
-  if (bias == 0) return v;
-  return f32_scale_exponent(v, -bias);
+void bias_block(std::span<const float, kValuesPerBlock> in,
+                std::span<float, kValuesPerBlock> out, int8_t bias) {
+  if (bias == 0) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    out[i] = f32_scale_exponent(in[i], bias);
 }
 
 }  // namespace avr

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/fp_bits.hh"
 #include "common/types.hh"
 
 namespace avr {
@@ -27,8 +28,18 @@ int8_t choose_bias(std::span<const float, kValuesPerBlock> vals);
 /// in place. Zero/denormal values are left untouched.
 void apply_bias(std::span<float, kValuesPerBlock> vals, int8_t bias);
 
+/// Fused copy + bias: writes the biased image of `in` to `out` in one pass
+/// (stage 1 of the compressor pipeline; `bias == 0` degenerates to a plain
+/// copy). Equivalent to copying then apply_bias, without the extra sweep.
+void bias_block(std::span<const float, kValuesPerBlock> in,
+                std::span<float, kValuesPerBlock> out, int8_t bias);
+
 /// Undoes the bias on a single value (the 8-bit exponent adder of the
-/// decompressor). Zero stays zero.
-float unbias_value(float v, int8_t bias);
+/// decompressor). Zero stays zero. Header-inline: the decompressor and the
+/// compressor's error scan run this once per reconstructed value.
+inline float unbias_value(float v, int8_t bias) {
+  if (bias == 0) return v;
+  return f32_scale_exponent(v, -bias);
+}
 
 }  // namespace avr

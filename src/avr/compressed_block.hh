@@ -8,11 +8,16 @@
 //
 // The summary is kept in the biased fixed-point domain; `bias` and `method`
 // travel in the CMT entry (Fig. 3) but are duplicated here for convenience.
+//
+// The whole struct is trivially copyable: the outlier list is a
+// fixed-capacity inline array (the 8-line budget bounds it at
+// kMaxBlockOutliers entries), so building or copying an encoding never
+// touches the heap — the compressor datapath reuses one of these per
+// attempt through CompressorScratch.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "common/bitmap.hh"
 #include "common/types.hh"
@@ -22,13 +27,54 @@ namespace avr {
 inline constexpr uint32_t kSummaryValues = 16;  // 16:1 target over 256 values
 inline constexpr uint32_t kBitmapBytes = Bitmap256::kBits / 8;  // 32 B = half a line
 
+/// Largest outlier count that still fits the 8-line budget:
+/// 7 lines * 64 B = 448 B minus the 32 B bitmap = 104 outliers.
+inline constexpr uint32_t kMaxBlockOutliers =
+    (7 * kCachelineBytes - kBitmapBytes) / 4;
+
+/// Fixed-capacity inline list of raw 32-bit outlier images. Mirrors the
+/// std::vector surface the encoding consumers use (size/empty/iteration/
+/// indexing) without per-attempt allocation; push_back beyond capacity is
+/// the caller's bug (the error-check loop aborts an attempt *before*
+/// exceeding kMaxBlockOutliers).
+class OutlierList {
+ public:
+  constexpr uint32_t size() const { return n_; }
+  constexpr bool empty() const { return n_ == 0; }
+  constexpr bool full() const { return n_ == kMaxBlockOutliers; }
+  constexpr void clear() { n_ = 0; }
+
+  constexpr void push_back(uint32_t bits) { v_[n_++] = bits; }
+  constexpr void assign(uint32_t n, uint32_t bits) {
+    n_ = n;
+    for (uint32_t i = 0; i < n; ++i) v_[i] = bits;
+  }
+
+  constexpr uint32_t operator[](uint32_t i) const { return v_[i]; }
+  constexpr uint32_t& operator[](uint32_t i) { return v_[i]; }
+  constexpr const uint32_t* data() const { return v_.data(); }
+  constexpr const uint32_t* begin() const { return v_.data(); }
+  constexpr const uint32_t* end() const { return v_.data() + n_; }
+
+  constexpr bool operator==(const OutlierList& o) const {
+    if (n_ != o.n_) return false;
+    for (uint32_t i = 0; i < n_; ++i)
+      if (v_[i] != o.v_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<uint32_t, kMaxBlockOutliers> v_{};
+  uint32_t n_ = 0;
+};
+
 struct CompressedBlock {
   Method method = Method::kUncompressed;
   DType dtype = DType::kFloat32;
   int8_t bias = 0;  // exponent bias applied before fixed-point conversion
   std::array<int32_t, kSummaryValues> summary{};  // Q16.16 raw, biased domain
   Bitmap256 outlier_map;
-  std::vector<uint32_t> outliers;  // raw 32-bit images of outlier values
+  OutlierList outliers;  // raw 32-bit images of outlier values
 
   /// Number of 64 B cachelines the compressed image occupies (Sec. 3.1):
   /// summary alone is 1 line; with outliers add the half-line bitmap plus
@@ -41,10 +87,7 @@ struct CompressedBlock {
 
   bool compressed() const { return method != Method::kUncompressed; }
 
-  /// Largest outlier count that still fits the 8-line budget:
-  /// 7 lines * 64 B = 448 B minus the 32 B bitmap = 104 outliers.
-  static constexpr uint32_t kMaxOutliers =
-      (7 * kCachelineBytes - kBitmapBytes) / 4;
+  static constexpr uint32_t kMaxOutliers = kMaxBlockOutliers;
 };
 
 }  // namespace avr

@@ -1,6 +1,5 @@
 #include "avr/compressor.hh"
 
-#include <array>
 #include <cmath>
 
 #include "avr/bias.hh"
@@ -17,12 +16,26 @@ float to_float_domain(Fixed32 fx, int8_t bias, DType dtype) {
   return unbias_value(fx.to_float(), bias);
 }
 
-uint32_t raw_bits_of(float original, DType dtype) {
-  if (dtype == DType::kFixed32) return std::bit_cast<uint32_t>(original);
-  return f32_bits(original);
+}  // namespace
+
+std::span<const MethodVariant> method_variants() {
+  // Selection-preference order: 2D first, so on ties it wins, matching the
+  // hardware's preference for the variant that captures spatial locality.
+  static constexpr MethodVariant kMethodVariants[] = {
+      {Method::kDownsample2D, &AvrConfig::enable_2d, downsample::compress_2d,
+       downsample::reconstruct_2d},
+      {Method::kDownsample1D, &AvrConfig::enable_1d, downsample::compress_1d,
+       downsample::reconstruct_1d},
+  };
+  return kMethodVariants;
 }
 
-}  // namespace
+const MethodVariant& variant_for(Method m) {
+  const std::span<const MethodVariant> variants = method_variants();
+  for (const MethodVariant& v : variants)
+    if (v.method == m) return v;
+  return variants.back();  // 1D row: the legacy default interpolation
+}
 
 bool Compressor::value_is_outlier(float original, float approx) const {
   const uint32_t n = cfg_.t1_mantissa_msbit;
@@ -36,99 +49,130 @@ bool Compressor::value_is_outlier(float original, float approx) const {
   return static_cast<uint32_t>(dm < 0 ? -dm : dm) >= limit;
 }
 
-std::optional<CompressionAttempt> Compressor::try_method(
-    Method m, std::span<const float, kValuesPerBlock> original,
-    std::span<const Fixed32, kValuesPerBlock> fixed, int8_t bias,
-    DType dtype) const {
-  CompressionAttempt att;
-  att.block.method = m;
+bool Compressor::try_method(const MethodVariant& variant,
+                            std::span<const float, kValuesPerBlock> original,
+                            int8_t bias, DType dtype,
+                            CompressorScratch& scratch) const {
+  CompressionAttempt& att = scratch.candidate;
+  att.block.method = variant.method;
   att.block.bias = bias;
   att.block.dtype = dtype;
+  att.block.outlier_map.reset();
+  att.block.outliers.clear();
 
-  std::array<Fixed32, kSummaryValues> avg =
-      m == Method::kDownsample2D
-          ? downsample::compress_2d(fixed)
-          : downsample::compress_1d(fixed);
+  // Stage 3: summarize (the shared fixed-point image feeds every variant).
+  const std::array<Fixed32, kSummaryValues> avg = variant.summarize(scratch.fixed);
   for (uint32_t k = 0; k < kSummaryValues; ++k) att.block.summary[k] = avg[k].raw();
 
-  std::array<Fixed32, kValuesPerBlock> recon;
-  if (m == Method::kDownsample2D)
-    downsample::reconstruct_2d(avg, recon);
-  else
-    downsample::reconstruct_1d(avg, recon);
+  // Stage 4: the common reconstruct kernel, into scratch.
+  variant.reconstruct(avg, scratch.recon);
 
-  // Error check + outlier selection (Sec. 3.3). The mantissa subtraction of
-  // non-outliers accumulates into the block-average error.
-  double err_sum = 0.0;
+  // Stage 5: error check + incremental outlier scan (Sec. 3.3). The scan
+  // aborts the variant the moment the outlier budget would be exceeded.
+  CompressedBlock& blk = att.block;
   uint32_t non_outliers = 0;
-  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
-    const float approx = to_float_domain(recon[i], bias, dtype);
-    bool outlier;
-    if (dtype == DType::kFixed32) {
-      // Fixed point: relative error via subtraction and compare (footnote 1).
-      const double o = fixed[i].to_double();
-      const double a = Fixed32::from_raw(recon[i].raw()).to_double();
-      outlier = relative_error(a, o) >= t1();
-    } else {
-      outlier = value_is_outlier(original[i], approx);
-    }
-    if (outlier) {
-      att.block.outlier_map.set(i);
-      att.block.outliers.push_back(raw_bits_of(original[i], dtype));
-      if (att.block.outliers.size() > CompressedBlock::kMaxOutliers)
-        return std::nullopt;  // cannot fit in 8 lines
-    } else {
-      if (dtype == DType::kFixed32) {
-        err_sum += relative_error(Fixed32::from_raw(recon[i].raw()).to_double(),
-                                  fixed[i].to_double());
+  if (dtype == DType::kFixed32) {
+    // Fixed point: relative error via subtraction and compare (footnote 1),
+    // accumulated in the same double order as the error reports.
+    double err_sum = 0.0;
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+      const double o = scratch.fixed[i].to_double();
+      const double a = Fixed32::from_raw(scratch.recon[i].raw()).to_double();
+      const double rel = relative_error(a, o);
+      if (rel >= t1()) {
+        if (blk.outliers.full()) return false;  // cannot fit in 8 lines
+        blk.outlier_map.set(i);
+        blk.outliers.push_back(std::bit_cast<uint32_t>(original[i]));
       } else {
-        const int32_t dm = static_cast<int32_t>(f32_mantissa(original[i])) -
-                           static_cast<int32_t>(f32_mantissa(approx));
-        err_sum += static_cast<double>(dm < 0 ? -dm : dm) /
-                   static_cast<double>(1u << kMantissaBits);
+        err_sum += rel;
+        ++non_outliers;
       }
-      ++non_outliers;
     }
+    att.avg_error = non_outliers ? err_sum / non_outliers : 0.0;
+  } else {
+    // Float: the outlier rule and the block-average error are both defined
+    // on the mantissa field, so the whole scan runs in the integer domain —
+    // one int64 accumulator of absolute mantissa differences replaces the
+    // per-value double divisions (every |dm|/2^23 term is an exact multiple
+    // of 2^-23 and the sum stays below 2^31 of them, so deferring the
+    // division reproduces the old double accumulation bit for bit).
+    const uint32_t limit = 1u << (kMantissaBits - cfg_.t1_mantissa_msbit);
+    int64_t dm_sum = 0;
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+      const uint32_t ob = f32_bits(original[i]);
+      const uint32_t ab =
+          f32_bits(unbias_value(scratch.recon[i].to_float(), bias));
+      if (ob == ab) {  // exact reconstruction: non-outlier, zero error
+        ++non_outliers;
+        continue;
+      }
+      const bool nonfinite = ((ob >> kMantissaBits) & kExponentMask) == kExponentMask;
+      // Sign or exponent mismatch shows up as any difference above the
+      // mantissa field; NaN/Inf originals are always outliers.
+      bool outlier;
+      int32_t dm = 0;
+      if (nonfinite || ((ob ^ ab) >> kMantissaBits) != 0) {
+        outlier = true;
+      } else {
+        dm = static_cast<int32_t>(ob & kMantissaMask) -
+             static_cast<int32_t>(ab & kMantissaMask);
+        if (dm < 0) dm = -dm;
+        outlier = static_cast<uint32_t>(dm) >= limit;
+      }
+      if (outlier) {
+        if (blk.outliers.full()) return false;  // cannot fit in 8 lines
+        blk.outlier_map.set(i);
+        blk.outliers.push_back(ob);
+      } else {
+        dm_sum += dm;
+        ++non_outliers;
+      }
+    }
+    att.avg_error =
+        non_outliers
+            ? (static_cast<double>(dm_sum) /
+               static_cast<double>(1u << kMantissaBits)) / non_outliers
+            : 0.0;
   }
 
-  att.avg_error = non_outliers ? err_sum / non_outliers : 0.0;
-  if (att.avg_error > t2()) return std::nullopt;
-  if (att.block.lines() > kMaxCompressedLines) return std::nullopt;
-  return att;
+  if (att.avg_error > t2()) return false;
+  if (blk.lines() > kMaxCompressedLines) return false;
+  return true;
 }
 
 std::optional<CompressionAttempt> Compressor::compress(
-    std::span<const float, kValuesPerBlock> vals, DType dtype) const {
+    std::span<const float, kValuesPerBlock> vals, DType dtype,
+    CompressorScratch& scratch) const {
+  // Stages 1+2, shared by every variant: bias into the comfortable Q16.16
+  // range, then batch-convert to fixed point.
   int8_t bias = 0;
-  std::array<float, kValuesPerBlock> biased;
-  std::array<Fixed32, kValuesPerBlock> fixed;
-
   if (dtype == DType::kFloat32) {
     bias = choose_bias(vals);
-    for (uint32_t i = 0; i < kValuesPerBlock; ++i) biased[i] = vals[i];
-    apply_bias(biased, bias);
-    for (uint32_t i = 0; i < kValuesPerBlock; ++i)
-      fixed[i] = f32_is_finite(biased[i]) ? Fixed32::from_float(biased[i])
-                                          : Fixed32::from_raw(0);
+    bias_block(vals, scratch.biased, bias);
+    fixed32_from_f32_batch(scratch.biased, scratch.fixed);
   } else {
-    for (uint32_t i = 0; i < kValuesPerBlock; ++i)
-      fixed[i] = Fixed32::from_raw(std::bit_cast<int32_t>(vals[i]));
+    fixed32_from_raw_bits_batch(vals, scratch.fixed);
   }
 
-  std::optional<CompressionAttempt> best;
-  auto consider = [&](Method m) {
-    auto att = try_method(m, vals, fixed, bias, dtype);
-    if (!att) return;
-    if (!best || att->block.lines() < best->block.lines() ||
-        (att->block.lines() == best->block.lines() &&
-         att->block.outliers.size() < best->block.outliers.size()))
-      best = std::move(att);
-  };
-  // 2D first: on ties it wins, matching the hardware's preference for the
-  // variant that captures spatial locality.
-  if (cfg_.enable_2d) consider(Method::kDownsample2D);
-  if (cfg_.enable_1d) consider(Method::kDownsample1D);
-  return best;
+  bool have_best = false;
+  for (const MethodVariant& v : method_variants()) {
+    if (!(cfg_.*v.enabled)) continue;
+    if (!try_method(v, vals, bias, dtype, scratch)) continue;
+    const CompressionAttempt& att = scratch.candidate;
+    if (!have_best || att.block.lines() < scratch.best.block.lines() ||
+        (att.block.lines() == scratch.best.block.lines() &&
+         att.block.outliers.size() < scratch.best.block.outliers.size())) {
+      scratch.best = att;
+      have_best = true;
+    }
+    // A 1-line, zero-outlier encoding is unbeatable: replacement requires
+    // strictly fewer lines or outliers, so later variants cannot win —
+    // skipping them picks the identical result.
+    if (scratch.best.block.lines() == 1 && scratch.best.block.outliers.empty())
+      break;
+  }
+  if (!have_best) return std::nullopt;
+  return scratch.best;
 }
 
 void Compressor::reconstruct(const CompressedBlock& cb,
@@ -137,10 +181,7 @@ void Compressor::reconstruct(const CompressedBlock& cb,
   for (uint32_t k = 0; k < kSummaryValues; ++k) avg[k] = Fixed32::from_raw(cb.summary[k]);
 
   std::array<Fixed32, kValuesPerBlock> recon;
-  if (cb.method == Method::kDownsample2D)
-    downsample::reconstruct_2d(avg, recon);
-  else
-    downsample::reconstruct_1d(avg, recon);
+  variant_for(cb.method).reconstruct(avg, recon);
 
   for (uint32_t i = 0; i < kValuesPerBlock; ++i)
     out[i] = to_float_domain(recon[i], cb.bias, cb.dtype);

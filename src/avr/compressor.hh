@@ -1,15 +1,32 @@
-// The AVR compressor / decompressor module (Sec. 3.3, Fig. 4).
+// The AVR compressor / decompressor module (Sec. 3.3, Fig. 4), structured
+// as the staged pipeline the hardware synthesizes:
 //
-// compress():  bias exponents -> float-to-fixed -> downsample (1D and 2D
-//              variants in parallel) -> reconstruct -> error check ->
-//              outlier selection -> pick the best passing variant.
-// reconstruct(): summary -> fixed-point interpolation -> fixed-to-float ->
-//              unbias -> overlay outliers per the bitmap.
+//   compress():  stage 1  bias exponents            (shared by all variants)
+//                stage 2  float -> Q16.16 batch     (shared by all variants)
+//                per variant from the method table:
+//                stage 3  summarize (downsample)
+//                stage 4  reconstruct kernel        (same kernel the
+//                                                    decompressor runs)
+//                stage 5  integer-domain error check + incremental outlier
+//                         scan (aborts the variant the moment the outlier
+//                         budget is exceeded)
+//                pick the best passing variant.
+//   reconstruct(): summary -> table-driven fixed-point interpolation ->
+//                fixed-to-float -> unbias -> overlay outliers per bitmap.
 //
-// The class is a pure function of its inputs (no architectural state), so
-// the LLC-side machinery can reuse one instance everywhere.
+// The class itself stays a pure function of its inputs (no architectural
+// state), so the LLC-side machinery can reuse one instance everywhere. All
+// intermediate block-sized buffers live in a caller-owned CompressorScratch:
+// the per-event hot paths (AvrSystem's compress_block_values) thread one
+// scratch through every attempt, so a compression event performs zero heap
+// allocations.
+//
+// New methods plug in by adding a Method enum value, an AvrConfig enable
+// flag and a kMethodVariants row (e.g. a BDI-hybrid bridging src/lossless)
+// — compress() and its call sites are variant-agnostic.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <span>
 
@@ -26,16 +43,60 @@ struct CompressionAttempt {
   double avg_error = 0.0;  // mean mantissa-relative error of non-outliers
 };
 
+/// Caller-owned working set of the compression pipeline: the biased float
+/// image, its fixed-point conversion (both shared across variants), the
+/// per-variant reconstruction, and the candidate encoding the error check
+/// fills in place. Everything is a flat array (structure-of-arrays), sized
+/// for one 256-value block; reusing one scratch across events keeps the
+/// datapath allocation-free and its working set cache-resident.
+struct CompressorScratch {
+  std::array<float, kValuesPerBlock> biased;
+  std::array<Fixed32, kValuesPerBlock> fixed;
+  std::array<Fixed32, kValuesPerBlock> recon;
+  CompressionAttempt candidate;
+  CompressionAttempt best;
+};
+
+/// One row of the compression-method dispatch table: how to summarize a
+/// fixed-point block and how to reconstruct it, plus the AvrConfig flag
+/// gating the variant. Table order is selection-preference order on ties
+/// (2D first, matching the hardware's preference for spatial locality).
+struct MethodVariant {
+  Method method;
+  bool AvrConfig::*enabled;
+  std::array<Fixed32, kSummaryValues> (*summarize)(
+      std::span<const Fixed32, kValuesPerBlock>);
+  void (*reconstruct)(const std::array<Fixed32, kSummaryValues>&,
+                      std::span<Fixed32, kValuesPerBlock>);
+};
+
+/// The registered variants, in preference order.
+std::span<const MethodVariant> method_variants();
+
+/// The table row implementing `m` (1D row for unknown methods, mirroring
+/// the legacy decompressor's default interpolation).
+const MethodVariant& variant_for(Method m);
+
 class Compressor {
  public:
   explicit Compressor(const AvrConfig& cfg) : cfg_(cfg) {}
 
-  /// Tries to compress a block of 256 values. Returns std::nullopt when no
-  /// enabled variant meets the T1/T2 thresholds within 8 lines
-  /// (the block then stays uncompressed, Fig. 2b).
+  /// Tries to compress a block of 256 values, reusing `scratch` for every
+  /// intermediate buffer. Returns std::nullopt when no enabled variant
+  /// meets the T1/T2 thresholds within 8 lines (the block then stays
+  /// uncompressed, Fig. 2b).
+  std::optional<CompressionAttempt> compress(
+      std::span<const float, kValuesPerBlock> vals, DType dtype,
+      CompressorScratch& scratch) const;
+
+  /// Convenience overload with a private stack scratch (tests, examples,
+  /// one-off calls; per-event paths should thread a persistent scratch).
   std::optional<CompressionAttempt> compress(
       std::span<const float, kValuesPerBlock> vals,
-      DType dtype = DType::kFloat32) const;
+      DType dtype = DType::kFloat32) const {
+    CompressorScratch scratch;
+    return compress(vals, dtype, scratch);
+  }
 
   /// Reconstructs the approximate block values: interpolated summary with
   /// outliers overlaid exactly.
@@ -53,10 +114,12 @@ class Compressor {
   double t2() const { return t1() / 2.0; }
 
  private:
-  std::optional<CompressionAttempt> try_method(
-      Method m, std::span<const float, kValuesPerBlock> original,
-      std::span<const Fixed32, kValuesPerBlock> fixed, int8_t bias,
-      DType dtype) const;
+  /// Runs stages 3-5 of one variant against the shared fixed-point image in
+  /// `scratch`, filling scratch.candidate. False when the variant fails the
+  /// outlier budget or a threshold.
+  bool try_method(const MethodVariant& variant,
+                  std::span<const float, kValuesPerBlock> original,
+                  int8_t bias, DType dtype, CompressorScratch& scratch) const;
 
   AvrConfig cfg_;
 };

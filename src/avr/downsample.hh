@@ -5,7 +5,11 @@
 //   2D: the block is a 16x16 square; sub-blocks are 4x4 tiles; reconstruction
 //       is bi-linear interpolation between tile averages.
 // All arithmetic is Q16.16 with small integer interpolation weights, i.e.
-// what the synthesized datapath computes.
+// what the synthesized datapath computes. The neighbour indices and weights
+// for every position are precomputed into compile-time tables (the
+// hardware's hard-wired interpolation network), so the reconstruct kernels
+// are branch-free table-driven lerp loops shared by the compressor's error
+// check and the decompressor.
 #pragma once
 
 #include <array>

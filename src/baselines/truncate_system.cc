@@ -1,13 +1,19 @@
 #include "baselines/truncate_system.hh"
 
+#include <array>
+
 namespace avr {
 
 void TruncateSystem::truncate_line(uint64_t line) {
   line = line_addr(line);
-  for (uint64_t off = 0; off < kCachelineBytes; off += sizeof(float)) {
-    const float v = regions_.load<float>(line + off);
-    regions_.store(line + off, f32_truncate_low_bits(v, cfg_.truncate_bits));
-  }
+  // Batch kernel over the line's 16 values (same SoA convention as the
+  // compressor pipeline stages).
+  std::array<float, kValuesPerLine> vals;
+  for (uint64_t i = 0; i < kValuesPerLine; ++i)
+    vals[i] = regions_.load<float>(line + i * sizeof(float));
+  f32_truncate_low_bits_batch(vals, cfg_.truncate_bits);
+  for (uint64_t i = 0; i < kValuesPerLine; ++i)
+    regions_.store(line + i * sizeof(float), vals[i]);
 }
 
 uint64_t TruncateSystem::request(uint64_t now, uint64_t line, bool write) {

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace avr {
 
@@ -29,6 +30,12 @@ class Fixed32 {
   /// Saturating conversion from float. Values outside the representable
   /// range clamp to +/- max; the biasing stage is responsible for keeping
   /// block values inside range so saturation is the uncommon path.
+  ///
+  /// Rounding is half-away-from-zero, spelled as inline arithmetic instead
+  /// of std::lround so the (batch) conversion stage inlines: `scaled` is
+  /// exact (a float times 2^16 in a double) and |scaled| < 2^31 after the
+  /// clamps, so adding ±0.5 is exact and truncation reproduces lround's
+  /// result bit for bit.
   static Fixed32 from_float(float v) {
     if (std::isnan(v)) return from_raw(0);
     const double scaled = static_cast<double>(v) * kOne;
@@ -36,7 +43,7 @@ class Fixed32 {
       return from_raw(std::numeric_limits<int32_t>::max());
     if (scaled <= static_cast<double>(std::numeric_limits<int32_t>::min()))
       return from_raw(std::numeric_limits<int32_t>::min());
-    return from_raw(static_cast<int32_t>(std::lround(scaled)));
+    return from_raw(static_cast<int32_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
   }
 
   constexpr int32_t raw() const { return raw_; }
@@ -72,5 +79,47 @@ class Fixed32 {
  private:
   int32_t raw_ = 0;
 };
+
+// ---- batch (structure-of-arrays) conversion kernels ------------------------
+//
+// The compressor pipeline runs its conversion stages over whole 256-value
+// blocks held in flat arrays (a Fixed32 is one int32, so an array of them IS
+// the SoA layout). Keeping the loops here, header-inline and branch-light,
+// lets the compiler unroll/vectorize them once for every stage that uses
+// them (compressor, decompressor, baselines).
+
+/// Float block -> Q16.16 block. Non-finite inputs (the NaN/Inf values the
+/// error check later stores exactly as outliers) map to raw 0, matching the
+/// scalar compressor convention, not saturation.
+///
+/// The fast path is a single range test around the branch-heavy scalar
+/// conversion: any `scaled` strictly inside (INT32_MIN-0.5, INT32_MAX+0.5)
+/// rounds half-away to the same value from_float produces (the saturating
+/// comparisons in from_float only redirect values that round to the clamp
+/// anyway), and NaN fails the range test, so the slow path sees exactly the
+/// non-finite and saturating inputs.
+inline void fixed32_from_f32_batch(std::span<const float> in,
+                                   std::span<Fixed32> out) {
+  constexpr double kLo = static_cast<double>(std::numeric_limits<int32_t>::min()) - 0.5;
+  constexpr double kHi = static_cast<double>(std::numeric_limits<int32_t>::max()) + 0.5;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const float v = in[i];
+    const double scaled = static_cast<double>(v) * Fixed32::kOne;
+    if (scaled > kLo && scaled < kHi) {
+      out[i] = Fixed32::from_raw(
+          static_cast<int32_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+    } else {
+      out[i] = std::isfinite(v) ? Fixed32::from_float(v) : Fixed32::from_raw(0);
+    }
+  }
+}
+
+/// Reinterpret a block of raw 32-bit images (DType::kFixed32 regions store
+/// Q16.16 bit patterns in float-typed storage) as fixed-point values.
+inline void fixed32_from_raw_bits_batch(std::span<const float> in,
+                                        std::span<Fixed32> out) {
+  static_assert(sizeof(Fixed32) == sizeof(float));
+  __builtin_memcpy(out.data(), in.data(), in.size() * sizeof(float));
+}
 
 }  // namespace avr

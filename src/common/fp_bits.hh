@@ -9,6 +9,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <span>
 
 namespace avr {
 
@@ -52,6 +53,15 @@ inline float f32_scale_exponent(float f, int delta) {
 inline float f32_truncate_low_bits(float f, unsigned n) {
   if (!f32_is_finite(f)) return f;
   return bits_f32(f32_bits(f) & ~((1u << n) - 1u));
+}
+
+/// In-place batch form of f32_truncate_low_bits over a flat value array
+/// (structure-of-arrays style, like the fixed-point block kernels): the
+/// Truncate baseline chops every fp32 of an evicted line in one pass.
+inline void f32_truncate_low_bits_batch(std::span<float> vals, unsigned n) {
+  const uint32_t keep = ~((1u << n) - 1u);
+  for (float& f : vals)
+    if (f32_is_finite(f)) f = bits_f32(f32_bits(f) & keep);
 }
 
 /// Relative error |a-b| / max(|b|, tiny); used for *reporting* application

@@ -49,14 +49,19 @@ std::string ExperimentRunner::default_seed_cost_path() {
 
 ExperimentRunner::ExperimentRunner(SimConfig base, bool verbose,
                                    std::string cache_path)
-    : base_(base), verbose_(verbose), cache_path_(std::move(cache_path)) {
+    : base_(base),
+      cfg_hash_(config_fingerprint(base)),
+      verbose_(verbose),
+      cache_path_(std::move(cache_path)) {
   load_disk_cache();
   load_seed_costs();
 }
 
 void ExperimentRunner::load_disk_cache() {
   if (cache_path_.empty()) return;
-  auto loaded = load_result_cache(cache_path_);
+  // Only records simulated under this runner's configuration: ablation
+  // variants and the default grid can share one cache file.
+  auto loaded = load_result_cache(cache_path_, cfg_hash_);
   for (auto& [key, r] : loaded) cache_[key] = std::move(r);
   if (verbose_ && !cache_.empty())
     std::fprintf(stderr, "[cache] loaded %zu results from %s\n", cache_.size(),
@@ -175,6 +180,7 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
     ExperimentResult res;
     res.workload = name;
     res.design = d;
+    res.config_hash = cfg_hash_;
     res.m = sys.metrics();
     res.m.output_error = mean_relative_error(out, golden(name));
     res.wall_seconds =

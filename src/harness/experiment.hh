@@ -21,6 +21,10 @@ struct ExperimentResult {
   std::string workload;
   Design design = Design::kBaseline;
   RunMetrics m;
+  /// config_fingerprint() of the base SimConfig the point was simulated
+  /// under. Persisted (result-cache format v3) so caches can hold points
+  /// from several configurations — the ablation sweeps — side by side.
+  uint64_t config_hash = 0;
   /// Wall-clock seconds the point took to simulate. Persisted in the disk
   /// cache and fed back as the cost estimate for longest-first scheduling;
   /// NOT part of the simulated result (shard caches produced on different
@@ -33,9 +37,12 @@ class ExperimentRunner {
   /// `cache_path`: optional CSV file persisting results across the figure
   /// binaries and sweep shards (they all share one default-config sweep).
   /// Appends are safe against concurrent writer *processes* — see
-  /// harness/result_cache.hh for the format and locking contract. Pass ""
-  /// to disable (required for ablations that alter the config). The
-  /// environment variable AVR_RESULT_CACHE overrides the default path.
+  /// harness/result_cache.hh for the format and locking contract. Records
+  /// carry the base config's fingerprint (format v3), so runners with
+  /// different configurations — the bench_ablation variants — share one
+  /// file safely: each loads only its own records. Pass "" to disable
+  /// caching entirely. The environment variable AVR_RESULT_CACHE overrides
+  /// the default path.
   explicit ExperimentRunner(SimConfig base = {}, bool verbose = true,
                             std::string cache_path = default_cache_path());
 
@@ -90,6 +97,9 @@ class ExperimentRunner {
   }
 
   const SimConfig& base_config() const { return base_; }
+  /// Fingerprint identifying base_config() in persisted cache records: the
+  /// runner loads only records carrying it and stamps it on new results.
+  uint64_t config_hash() const { return cfg_hash_; }
   /// Per-workload config (cache hierarchy scaled per Workload::cache_scale).
   SimConfig config_for(const Workload& wl) const;
 
@@ -106,6 +116,7 @@ class ExperimentRunner {
   void load_seed_costs();
 
   SimConfig base_;
+  uint64_t cfg_hash_;
   bool verbose_;
   std::string cache_path_;
   // Immutable after construction; read without mu_.

@@ -16,8 +16,10 @@
 namespace avr {
 namespace {
 
-// 24 fixed fields (through wall_seconds) before the variable detail pairs.
-constexpr size_t kFixedFields = 24;
+// Fixed fields (through wall_seconds) before the variable detail pairs:
+// v3 carries config_hash between design and the metrics, v2 does not.
+constexpr size_t kFixedFieldsV3 = 25;
+constexpr size_t kFixedFieldsV2 = 24;
 
 // Every record ends with this sentinel field. A line torn mid-append —
 // even one cut inside the final numeric token, which would otherwise parse
@@ -72,6 +74,8 @@ std::string encode_result_line(const ExperimentResult& r) {
   s += r.workload;  // workload names are identifiers: no commas/newlines
   s += ',';
   put(s, static_cast<uint64_t>(r.design));
+  s += ',';
+  put(s, r.config_hash);
   auto field = [&s](auto v) {
     s += ',';
     put(s, v);
@@ -114,9 +118,14 @@ bool decode_result_line(const std::string& line, ExperimentResult* out) {
   std::string field;
   std::vector<std::string> f;
   while (std::getline(ls, field, ',')) f.push_back(field);
-  if (f.size() < kFixedFields + 1 ||
-      f[0] != std::to_string(kResultCacheVersion))
-    return false;
+  if (f.empty()) return false;
+  // v3 is the native format; v2 lines (pre-config-hash) are still valid —
+  // every v2 cache was produced under the default configuration, so they
+  // decode with the default fingerprint.
+  const bool v2 = f[0] == "2";
+  if (!v2 && f[0] != std::to_string(kResultCacheVersion)) return false;
+  const size_t fixed = v2 ? kFixedFieldsV2 : kFixedFieldsV3;
+  if (f.size() < fixed + 1) return false;
   // The sentinel must close the record: a torn tail — even one ending in
   // digits that happen to parse — cannot end with it.
   if (f.back() != kRecordEnd || line.back() == ',') return false;
@@ -126,6 +135,7 @@ bool decode_result_line(const std::string& line, ExperimentResult* out) {
     size_t i = 1;
     r.workload = f[i++];
     r.design = static_cast<Design>(to_int(f[i++]));
+    r.config_hash = v2 ? config_fingerprint(SimConfig{}) : to_u64(f[i++]);
     RunMetrics& m = r.m;
     m.cycles = to_u64(f[i++]);
     m.instructions = to_u64(f[i++]);
@@ -197,7 +207,8 @@ bool append_result_line(const std::string& path, const ExperimentResult& r) {
   return true;
 }
 
-std::map<ResultKey, ExperimentResult> load_result_cache(const std::string& path) {
+std::map<ResultKey, ExperimentResult> load_result_cache(
+    const std::string& path, std::optional<uint64_t> config_filter) {
   std::map<ResultKey, ExperimentResult> out;
   std::ifstream in(path);
   if (!in) return out;
@@ -205,6 +216,7 @@ std::map<ResultKey, ExperimentResult> load_result_cache(const std::string& path)
   while (std::getline(in, line)) {
     ExperimentResult r;
     if (!decode_result_line(line, &r)) continue;
+    if (config_filter && r.config_hash != *config_filter) continue;
     ResultKey key{r.workload, r.design};
     out[key] = std::move(r);
   }

@@ -1,9 +1,16 @@
 // On-disk result cache: one CSV line per completed (workload, design) point.
 //
-// File format (version 2), one record per line, no header:
+// File format (version 3), one record per line, no header:
 //
-//   version,workload,design,<19 metric fields>,output_error,wall_seconds
-//       [,detail_key,detail_value]...,end#
+//   version,workload,design,config_hash,<19 metric fields>,output_error,
+//       wall_seconds[,detail_key,detail_value]...,end#
+//
+// config_hash is the config_fingerprint() of the runner's *base* SimConfig
+// (per-workload scaling is deterministic from it), so records produced under
+// different configurations — e.g. the bench_ablation variants — can share
+// one cache file: loads filter on the hash. Version-2 lines (the same
+// layout without config_hash) are still decoded and are assigned the
+// default-config fingerprint, which is what produced every v2 cache.
 //
 // The trailing "end#" sentinel closes every record: a line torn mid-append
 // is missing it and is rejected as a whole (a cut inside the final numeric
@@ -21,6 +28,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -28,9 +36,11 @@
 
 namespace avr {
 
-/// Bump whenever results become incomparable (config or model changes);
-/// loads ignore records from any other version.
-inline constexpr int kResultCacheVersion = 2;
+/// Bump whenever results become incomparable (model changes); config
+/// changes no longer need a bump — records carry a config fingerprint.
+/// Loads ignore records from any version other than this one or 2 (v2
+/// lines decode with the default-config fingerprint).
+inline constexpr int kResultCacheVersion = 3;
 
 using ResultKey = std::pair<std::string, Design>;
 
@@ -47,7 +57,11 @@ bool decode_result_line(const std::string& line, ExperimentResult* out);
 /// cache is the source of truth within a process).
 bool append_result_line(const std::string& path, const ExperimentResult& r);
 
-/// Loads every valid record; missing file yields an empty map.
-std::map<ResultKey, ExperimentResult> load_result_cache(const std::string& path);
+/// Loads every valid record; missing file yields an empty map. When
+/// `config_filter` is set, records whose config_hash differs are skipped —
+/// a runner only warms from points simulated under its own configuration.
+std::map<ResultKey, ExperimentResult> load_result_cache(
+    const std::string& path,
+    std::optional<uint64_t> config_filter = std::nullopt);
 
 }  // namespace avr

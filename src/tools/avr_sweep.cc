@@ -111,8 +111,15 @@ bool same_metrics(avr::ExperimentResult a, avr::ExperimentResult b) {
   return avr::encode_result_line(a) == avr::encode_result_line(b);
 }
 
+/// avr_sweep only ever runs the default-configuration grid, so its coverage
+/// and identity checks must see only default-config records: the shared
+/// cache file may also hold ablation-variant records (other fingerprints)
+/// for the same (workload, design) keys, which would otherwise shadow the
+/// grid's records in the loaded map.
+uint64_t default_fingerprint() { return avr::config_fingerprint(avr::SimConfig{}); }
+
 int check_coverage(const Options& o, const std::vector<avr::sweep::Point>& slice) {
-  const auto cache = avr::load_result_cache(o.cache_path);
+  const auto cache = avr::load_result_cache(o.cache_path, default_fingerprint());
   size_t missing = 0;
   for (const auto& p : slice) {
     if (!cache.count(p)) {
@@ -132,8 +139,8 @@ int check_coverage(const Options& o, const std::vector<avr::sweep::Point>& slice
 }
 
 int check_same(const Options& o) {
-  const auto a = avr::load_result_cache(o.cache_path);
-  const auto b = avr::load_result_cache(o.assert_same_path);
+  const auto a = avr::load_result_cache(o.cache_path, default_fingerprint());
+  const auto b = avr::load_result_cache(o.assert_same_path, default_fingerprint());
   // A missing or record-free file would make the comparison vacuously true —
   // exactly what a path typo in a verification command must not do.
   if (a.empty() || b.empty()) {

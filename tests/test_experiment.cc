@@ -118,6 +118,8 @@ TEST(ExperimentRunner, MeasuredWallSecondsBeatSeedCosts) {
   ExperimentResult res;
   res.workload = "kmeans";
   res.design = Design::kBaseline;
+  // Records only warm a runner whose base-config fingerprint matches.
+  res.config_hash = config_fingerprint(SimConfig{});
   res.wall_seconds = 42.0;
   ASSERT_TRUE(append_result_line(cache_path, res));
 

@@ -7,10 +7,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace avr {
 namespace {
@@ -25,6 +27,7 @@ ExperimentResult sample_result(const std::string& wl, Design d, uint64_t salt) {
   ExperimentResult r;
   r.workload = wl;
   r.design = d;
+  r.config_hash = config_fingerprint(SimConfig{});
   r.m.cycles = 1000 + salt;
   r.m.instructions = 5000 + salt;
   r.m.ipc = 1.0 / 3.0 + static_cast<double>(salt);
@@ -145,6 +148,76 @@ TEST(ResultCache, AppendAfterTornTailStartsAFreshLine) {
 
 TEST(ResultCache, LoadOfMissingFileIsEmpty) {
   EXPECT_TRUE(load_result_cache(temp_path("nosuch")).empty());
+}
+
+/// A format-2 line: the v3 encoding with the version field rewritten and
+/// the config_hash field (4th) removed — exactly what a pre-v3 binary wrote.
+std::string v2_line_from(const ExperimentResult& r) {
+  std::string s = encode_result_line(r);
+  s[0] = '2';
+  const size_t c1 = s.find(',');
+  const size_t c2 = s.find(',', c1 + 1);
+  const size_t c3 = s.find(',', c2 + 1);
+  const size_t c4 = s.find(',', c3 + 1);
+  s.erase(c3, c4 - c3);
+  return s;
+}
+
+TEST(ResultCache, V2LinesDecodeWithDefaultConfigFingerprint) {
+  // Every v2 cache was produced under the default configuration; decoding
+  // one must yield the default fingerprint and identical metric values.
+  const ExperimentResult r = sample_result("lattice", Design::kTruncate, 5);
+  ExperimentResult back;
+  ASSERT_TRUE(decode_result_line(v2_line_from(r), &back));
+  EXPECT_EQ(back.config_hash, config_fingerprint(SimConfig{}));
+  expect_equal(r, back);
+}
+
+TEST(ResultCache, ConfigFilterSelectsOnlyMatchingRecords) {
+  const std::string path = temp_path("filter");
+  std::remove(path.c_str());
+  ExperimentResult def = sample_result("heat", Design::kAvr, 1);
+  SimConfig tweaked;
+  tweaked.avr.enable_2d = false;
+  ExperimentResult abl = sample_result("heat", Design::kAvr, 2);
+  abl.config_hash = config_fingerprint(tweaked);
+  ASSERT_NE(def.config_hash, abl.config_hash);
+  {
+    std::ofstream out(path);
+    out << encode_result_line(def) << '\n';
+    out << encode_result_line(abl) << '\n';
+    out << v2_line_from(sample_result("wrf", Design::kAvr, 3)) << '\n';
+  }
+  // Unfiltered: both (workload, design) keys; the hash-colliding pair keeps
+  // the later record (duplicates-last-wins, as for identical points).
+  EXPECT_EQ(load_result_cache(path).size(), 2u);
+  // Default-config filter: the ablation record is skipped, the v2 line
+  // (default by construction) is kept.
+  const auto defs = load_result_cache(path, config_fingerprint(SimConfig{}));
+  ASSERT_EQ(defs.size(), 2u);
+  expect_equal(defs.at({"heat", Design::kAvr}), def);
+  // Ablation filter: exactly its own record.
+  const auto abls = load_result_cache(path, config_fingerprint(tweaked));
+  ASSERT_EQ(abls.size(), 1u);
+  EXPECT_EQ(abls.at({"heat", Design::kAvr}).config_hash, abl.config_hash);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, ConfigFingerprintSeparatesAblationAxes) {
+  // Stable across calls, and every bench_ablation axis lands on a distinct
+  // fingerprint (a missed field in the fold list would alias two of them).
+  const SimConfig def;
+  EXPECT_EQ(config_fingerprint(def), config_fingerprint(SimConfig{}));
+  std::vector<SimConfig> axes(5);
+  axes[0].avr.enable_lazy_eviction = false;
+  axes[1].avr.enable_pfe = false;
+  axes[2].avr.enable_failure_history = false;
+  axes[3].avr.enable_2d = false;
+  axes[4].avr.enable_1d = false;
+  std::vector<uint64_t> hashes{config_fingerprint(def)};
+  for (const SimConfig& c : axes) hashes.push_back(config_fingerprint(c));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
 }
 
 TEST(ResultCache, ConcurrentForkedWritersProduceLoadableCache) {
