@@ -1,0 +1,122 @@
+// Micro-benchmarks of the end-to-end per-access simulation chain: what one
+// instrumented workload load/store costs through System -> IntervalCore ->
+// MemoryHierarchy -> (LLC subsystem), for the access mixes that dominate the
+// paper sweep (L1-resident streaming, L1-hit re-reads, LLC-bound strides)
+// plus a miniature Jacobi kernel as a workload-shaped composite.
+#include <benchmark/benchmark.h>
+
+#include "runtime/system.hh"
+
+namespace {
+
+using namespace avr;
+
+SimConfig small_cfg() {
+  SimConfig cfg;
+  cfg.scale_caches(16);  // L1 4 kB, L2 16 kB, LLC 512 kB
+  return cfg;
+}
+
+/// One instrumented load through the workload-facing access chain (the
+/// RegionHandle API every workload programs against), streaming 4 B values
+/// over an L1-resident window: the dominant access pattern of the paper's
+/// kernels (16 consecutive hits per cacheline).
+void BM_AccessChain(benchmark::State& state) {
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = 2048;  // half of the scaled L1
+  const RegionHandle h = sys.alloc_region("bench.chain", bytes, /*approx=*/false);
+  // Warm the window into the L1.
+  for (uint64_t off = 0; off < bytes; off += 4) sys.load_f32(h, off);
+  uint64_t off = 0;
+  float acc = 0;
+  for (auto _ : state) {
+    acc += sys.load_f32(h, off);
+    off = (off + 4) & (bytes - 1);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_AccessChain);
+
+/// Same window driven through instrumented stores (write hits).
+void BM_AccessChainStore(benchmark::State& state) {
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = 2048;
+  const RegionHandle h = sys.alloc_region("bench.chain", bytes, /*approx=*/false);
+  for (uint64_t off = 0; off < bytes; off += 4) sys.store_f32(h, off, 1.0f);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    sys.store_f32(h, off, 2.0f);
+    off = (off + 4) & (bytes - 1);
+  }
+  benchmark::DoNotOptimize(off);
+}
+BENCHMARK(BM_AccessChainStore);
+
+/// The address-based runtime API (kept for tests and non-ported callers):
+/// same L1-resident stream as BM_AccessChain, always through the
+/// RegionRegistry address translation.
+void BM_AccessChainAddr(benchmark::State& state) {
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = 2048;
+  const uint64_t a = sys.alloc("bench.chain", bytes, /*approx=*/false);
+  for (uint64_t off = 0; off < bytes; off += 4) sys.load_f32(a + off);
+  uint64_t off = 0;
+  float acc = 0;
+  for (auto _ : state) {
+    acc += sys.load_f32(a + off);
+    off = (off + 4) & (bytes - 1);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_AccessChainAddr);
+
+/// Line-stride reads over a window larger than the private caches but
+/// LLC-resident: every access walks the full L1 -> L2 -> LLC dispatch.
+void BM_AccessChainLlc(benchmark::State& state) {
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = 256 * 1024;  // > L2 (16 kB), within the 512 kB LLC
+  const uint64_t a = sys.alloc("bench.llc", bytes, /*approx=*/false);
+  for (uint64_t off = 0; off < bytes; off += kCachelineBytes)
+    sys.load_f32(a + off);
+  uint64_t off = 0;
+  float acc = 0;
+  for (auto _ : state) {
+    acc += sys.load_f32(a + off);
+    off = (off + kCachelineBytes) & (bytes - 1);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_AccessChainLlc);
+
+/// Workload-shaped composite: one 5-point Jacobi sweep over a 64x64 grid
+/// through the instrumented runtime API (the inner loop every stencil
+/// workload in src/workloads/ executes millions of times).
+void BM_WorkloadKernel(benchmark::State& state) {
+  constexpr uint32_t kN = 64;
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = uint64_t{kN} * kN * sizeof(float);
+  const RegionHandle src = sys.alloc_region("bench.src", bytes, /*approx=*/true);
+  const RegionHandle dst = sys.alloc_region("bench.dst", bytes, /*approx=*/true);
+  auto at = [](uint32_t r, uint32_t c) {
+    return (uint64_t{r} * kN + c) * sizeof(float);
+  };
+  for (uint32_t r = 0; r < kN; ++r)
+    for (uint32_t c = 0; c < kN; ++c)
+      sys.store_f32(src, at(r, c), 1.0f + 0.01f * static_cast<float>(r + c));
+  for (auto _ : state) {
+    for (uint32_t r = 1; r + 1 < kN; ++r)
+      for (uint32_t c = 1; c + 1 < kN; ++c) {
+        const float up = sys.load_f32(src, at(r - 1, c));
+        const float dn = sys.load_f32(src, at(r + 1, c));
+        const float lf = sys.load_f32(src, at(r, c - 1));
+        const float rt = sys.load_f32(src, at(r, c + 1));
+        sys.store_f32(dst, at(r, c), 0.25f * (up + dn + lf + rt));
+      }
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{kN - 2} * (kN - 2) * 5);
+}
+BENCHMARK(BM_WorkloadKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

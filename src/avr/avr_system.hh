@@ -58,7 +58,7 @@ struct AvrSystemCounters {
   uint64_t pfe_lines = 0;
 };
 
-class AvrSystem : public LlcSystem {
+class AvrSystem final : public LlcSystem {
  public:
   AvrSystem(const SimConfig& cfg, RegionRegistry& regions);
 

@@ -17,6 +17,9 @@ struct BaselineCounters {
   uint64_t traffic_other_bytes = 0;
 };
 
+// Not `final` itself — TruncateSystem derives from it — but System's
+// dispatch thunk still devirtualizes it with qualified calls: the thunk is
+// only ever bound when the dynamic type is exactly BaselineSystem.
 class BaselineSystem : public LlcSystem {
  public:
   BaselineSystem(const SimConfig& cfg, RegionRegistry& regions)

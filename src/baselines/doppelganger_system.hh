@@ -37,7 +37,7 @@ struct DoppelgangerCounters {
   uint64_t traffic_other_bytes = 0;
 };
 
-class DoppelgangerSystem : public LlcSystem {
+class DoppelgangerSystem final : public LlcSystem {
  public:
   DoppelgangerSystem(const SimConfig& cfg, RegionRegistry& regions);
 

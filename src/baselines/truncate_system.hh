@@ -9,7 +9,7 @@
 
 namespace avr {
 
-class TruncateSystem : public BaselineSystem {
+class TruncateSystem final : public BaselineSystem {
  public:
   // Approximate lines become half precision whenever they are written back
   // to memory; data still in caches stays exact, exactly like the hardware.

@@ -54,6 +54,13 @@ class SetAssocCache {
   /// Returns false if the line is absent.
   bool mark_dirty(uint64_t addr);
 
+  /// Fold `n` MRU-filter hits (accounted by MemoryHierarchy's line filter,
+  /// which bypasses access()) into the counters: n accesses, n hits.
+  void count_filtered_hits(uint64_t n) {
+    counters_.accesses += n;
+    counters_.hits += n;
+  }
+
   /// Enumerate all valid lines (used to drain dirty state at end of run).
   std::vector<std::pair<uint64_t, bool>> valid_lines() const;
 

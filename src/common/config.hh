@@ -47,6 +47,10 @@ struct AvrConfig {
   // T1 is expressed as the index N of the mantissa MSbit the difference may
   // not reach: error < 1/2^N. N=4 -> T1 = 6.25 %.
   uint32_t t1_mantissa_msbit = 4;
+  // Sweep override: when >= 0, the harness forces this T1 msbit index for
+  // every workload instead of the per-workload Workload::t1_msbit() default
+  // (the avr_sweep --t1 config axis). -1 = per-workload thresholds.
+  int32_t t1_override = -1;
   bool enable_1d = true;
   bool enable_2d = true;
   bool enable_lazy_eviction = true;
@@ -136,6 +140,14 @@ inline uint64_t config_fingerprint(const SimConfig& c) {
   fold(c.dram.cpu_per_dram_cycle);
   fold(c.dram.controller_latency);
   fold(c.avr.t1_mantissa_msbit);
+  // Folded only when set: the default (-1, per-workload thresholds) must
+  // keep the exact pre-override fingerprint so existing result caches stay
+  // valid. The marker byte keeps an override from aliasing a config whose
+  // next folded field happens to match the override value.
+  if (c.avr.t1_override >= 0) {
+    fold(0x7431);  // 't1' marker
+    fold(static_cast<uint64_t>(c.avr.t1_override));
+  }
   fold(static_cast<uint64_t>(c.avr.enable_1d) << 0 |
        static_cast<uint64_t>(c.avr.enable_2d) << 1 |
        static_cast<uint64_t>(c.avr.enable_lazy_eviction) << 2 |

@@ -1,13 +1,27 @@
 #include "cpu/hierarchy.hh"
 
+#include <algorithm>
 #include <string>
 
 namespace avr {
 
+namespace {
+
+/// Fallback miss-path dispatch when no concrete-type thunk was supplied:
+/// the two virtual calls the flattened path folds into one.
+MemoryHierarchy::LlcReply virtual_request(LlcSystem& llc, uint64_t now,
+                                          uint64_t line, bool write) {
+  const uint64_t lat = llc.request(now, line, write);
+  return {lat, llc.last_was_miss()};
+}
+
+}  // namespace
+
 MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg, LlcSystem& llc,
-                                 uint32_t num_cores)
+                                 uint32_t num_cores, LlcRequestFn request_fn)
     : cfg_(cfg),
       llc_(llc),
+      request_fn_(request_fn ? request_fn : &virtual_request),
       lat_l1_(cfg.core.l1_latency),
       lat_l1l2_(uint64_t{cfg.core.l1_latency} + cfg.core.l2_latency) {
   for (uint32_t c = 0; c < num_cores; ++c) {
@@ -15,6 +29,22 @@ MemoryHierarchy::MemoryHierarchy(const SimConfig& cfg, LlcSystem& llc,
                                                   cfg.l1.size_bytes, cfg.l1.ways));
     l2_.push_back(std::make_unique<SetAssocCache>("l2." + std::to_string(c),
                                                   cfg.l2.size_bytes, cfg.l2.ways));
+    L1Filter f;
+    f.lines.assign(l1_.back()->num_sets(), kNoLine);
+    f.dirty.assign(l1_.back()->num_sets(), 0);
+    f.l1 = l1_.back().get();
+    f.mask = l1_.back()->num_sets() - 1;
+    filters_.push_back(std::move(f));
+  }
+}
+
+void MemoryHierarchy::flush_filters() const {
+  for (L1Filter& f : filters_) {
+    if (f.pending == 0) continue;
+    f.l1->count_filtered_hits(f.pending);
+    accesses_ += f.pending;
+    latency_sum_ += f.pending * lat_l1_;
+    f.pending = 0;
   }
 }
 
@@ -34,6 +64,7 @@ AccessOutcome MemoryHierarchy::access(uint32_t core, uint64_t now, uint64_t addr
 
   SetAssocCache& l1 = *l1_[core];
   if (l1.access(addr, write)) {
+    arm_filter(core, addr, write);
     out.latency = lat_l1_;
     out.level = ServedBy::kL1;
     latency_sum_ += out.latency;
@@ -46,26 +77,34 @@ AccessOutcome MemoryHierarchy::access(uint32_t core, uint64_t now, uint64_t addr
     out.level = ServedBy::kL2;
   } else {
     ++llc_requests_;
-    const uint64_t llc_lat = llc_.request(now, addr, /*write=*/false);
-    if (llc_.last_was_miss()) {
+    const LlcReply reply = request_fn_(llc_, now, addr, /*write=*/false);
+    if (reply.miss) {
       ++llc_misses_;
       out.level = ServedBy::kMemory;
     } else {
       out.level = ServedBy::kLlc;
     }
-    out.latency = lat_l1l2_ + llc_lat;
+    out.latency = lat_l1l2_ + reply.latency;
     const Eviction ev2 = l2.fill(addr, /*dirty=*/false);
     if (ev2.valid && ev2.dirty) llc_.writeback(now, ev2.addr);
   }
 
-  // Fill L1 (write-allocate: the store dirties the L1 copy).
+  // Fill L1 (write-allocate: the store dirties the L1 copy). The filled
+  // line is the new MRU of its set, so it arms the filter slot — which also
+  // retires any line the fill evicted from that set.
   const Eviction ev1 = l1.fill(addr, write);
+  arm_filter(core, addr, write);
   evict_from_l1(core, now, ev1);
   latency_sum_ += out.latency;
   return out;
 }
 
 void MemoryHierarchy::drain(uint64_t now) {
+  flush_filters();
+  for (L1Filter& f : filters_) {
+    std::fill(f.lines.begin(), f.lines.end(), kNoLine);
+    std::fill(f.dirty.begin(), f.dirty.end(), 0);
+  }
   for (auto& l1 : l1_)
     for (const auto& [addr, dirty] : l1->valid_lines())
       if (dirty) llc_.writeback(now, addr);
@@ -76,6 +115,7 @@ void MemoryHierarchy::drain(uint64_t now) {
 }
 
 uint64_t MemoryHierarchy::l1_accesses() const {
+  flush_filters();
   uint64_t n = 0;
   for (const auto& c : l1_) n += c->counters().accesses;
   return n;

@@ -7,6 +7,12 @@
 // each other (memory-level parallelism), so a burst of misses costs roughly
 // one exposed latency plus the queueing tail — which is how reduced traffic
 // translates into execution time.
+//
+// Hot-path shape: every instrumented access enters through access(), which
+// charges the surrounding non-memory instructions and the load/store in one
+// step, then tries the hierarchy's per-core MRU line filter. Only filter
+// misses (L1 set-MRU changes, L2/LLC/DRAM traffic) reach memory_op()'s
+// interval bookkeeping.
 #pragma once
 
 #include <cstdint>
@@ -20,25 +26,40 @@ class IntervalCore {
  public:
   IntervalCore(const CoreConfig& cfg, MemoryHierarchy& mem, uint32_t id)
       : mem_(mem),
+        filter_(mem.filter(id)),
         id_(id),
-        // Per-access invariants, hoisted so memory_op touches plain members
-        // instead of re-deriving them from the config struct every access.
+        // Per-access invariants, hoisted so the access path touches plain
+        // members instead of re-deriving them from the config every access.
         dispatch_width_(cfg.dispatch_width),
         rob_size_(cfg.rob_size),
         // ILP a full ROB can hide under perfect overlap.
-        hide_cycles_(cfg.rob_size / cfg.dispatch_width) {}
+        hide_cycles_(cfg.rob_size / cfg.dispatch_width),
+        // The MRU-filter fast path is exact only if a filtered hit (an L1
+        // hit) can never expose a stall; with l1_latency > hide_cycles it
+        // would, so such configs take the full path for every access.
+        filter_ok_(mem.l1_hit_latency() <= hide_cycles_) {}
 
   /// Commit `n` non-memory instructions.
-  void ops(uint64_t n) {
-    instructions_ += n;
-    base_work_ += n;
+  void ops(uint64_t n) { instructions_ += n; }
+
+  /// Commit `pre_ops` non-memory instructions plus one load/store of `addr`
+  /// — the bundle the runtime charges per instrumented access. Equivalent
+  /// to ops(pre_ops) followed by load()/store(); the fused form exists so
+  /// the filter fast path costs one branch and two adds.
+  void access(uint64_t addr, bool write, uint64_t pre_ops) {
+    instructions_ += pre_ops + 1;
+    if (filter_ok_ && filter_->hit(addr, write)) return;
+    memory_op(addr, write);
   }
 
   /// Commit a load/store of `addr`.
-  void load(uint64_t addr) { memory_op(addr, /*write=*/false); }
-  void store(uint64_t addr) { memory_op(addr, /*write=*/true); }
+  void load(uint64_t addr) { access(addr, /*write=*/false, 0); }
+  void store(uint64_t addr) { access(addr, /*write=*/true, 0); }
 
-  uint64_t cycles() const { return stall_cycles_ + base_work_ / dispatch_width_; }
+  // The interval model commits `dispatch_width` instructions per cycle
+  // outside stalls, so width-limited work is instructions_ / width —
+  // every committed instruction (memory or not) contributes equally.
+  uint64_t cycles() const { return stall_cycles_ + instructions_ / dispatch_width_; }
   uint64_t instructions() const { return instructions_; }
   double ipc() const {
     const uint64_t c = cycles();
@@ -48,8 +69,6 @@ class IntervalCore {
 
  private:
   void memory_op(uint64_t addr, bool write) {
-    ++instructions_;
-    ++base_work_;
     // Misses within one ROB window all issue from the window's start time:
     // the OoO engine had them in flight together. The DRAM model then
     // queues them behind each other (bank/bus contention), and the core
@@ -78,13 +97,14 @@ class IntervalCore {
   }
 
   MemoryHierarchy& mem_;
+  MemoryHierarchy::L1Filter* filter_;
   uint32_t id_;
   // Set once in the constructor; see the init list.
   uint64_t dispatch_width_;
   uint64_t rob_size_;
   uint64_t hide_cycles_;
+  bool filter_ok_;
   uint64_t instructions_ = 0;
-  uint64_t base_work_ = 0;     // instructions contributing width-limited cycles
   uint64_t stall_cycles_ = 0;  // exposed miss penalties
   uint64_t window_first_instr_ = 0;
   uint64_t window_issue_ = 0;

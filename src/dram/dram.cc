@@ -37,8 +37,8 @@ Dram::Dram(const DramConfig& cfg) : cfg_(cfg) {
   channel_mask_ = cfg.channels - 1;
   bank_mask_ = cfg.banks_per_channel - 1;
 
-  channels_.resize(cfg.channels);
-  for (auto& ch : channels_) ch.banks.resize(cfg.banks_per_channel);
+  banks_.resize(uint64_t{cfg.channels} * cfg.banks_per_channel);
+  buses_.resize(cfg.channels);
   t_cl_ = uint64_t{cfg.t_cl} * cfg.cpu_per_dram_cycle;
   t_rcd_ = uint64_t{cfg.t_rcd} * cfg.cpu_per_dram_cycle;
   t_rp_ = uint64_t{cfg.t_rp} * cfg.cpu_per_dram_cycle;
@@ -50,8 +50,9 @@ Dram::Dram(const DramConfig& cfg) : cfg_(cfg) {
 
 uint64_t Dram::access(uint64_t now, uint64_t addr, uint32_t bytes, bool is_write,
                       uint64_t* stream_done) {
-  Channel& ch = channels_[channel_of(addr)];
-  Bank& bank = ch.banks[bank_of(addr)];
+  const uint32_t channel = channel_of(addr);
+  ChannelBus& ch = buses_[channel];
+  Bank& bank = banks_[uint64_t{channel} * cfg_.banks_per_channel + bank_of(addr)];
   const uint64_t row = row_of(addr);
 
   uint64_t t = std::max<uint64_t>(now + cfg_.controller_latency, bank.ready_at);
@@ -127,7 +128,7 @@ StatGroup Dram::stats() const {
 
 uint64_t Dram::max_channel_busy() const {
   uint64_t m = 0;
-  for (const auto& ch : channels_) m = std::max(m, ch.busy_cycles);
+  for (const auto& ch : buses_) m = std::max(m, ch.busy_cycles);
   return m;
 }
 

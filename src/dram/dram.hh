@@ -69,8 +69,10 @@ class Dram {
     uint64_t open_row = 0;
     uint64_t ready_at = 0;  // CPU cycle when the bank can accept a command
   };
-  struct Channel {
-    std::vector<Bank> banks;
+  // Channel bus state, kept separate from the flat bank array: banks are
+  // indexed [channel * banks_per_channel + bank] so the per-access lookup is
+  // one indexed load instead of a vector-of-vectors pointer chase.
+  struct ChannelBus {
     uint64_t bus_free_at = 0;
     uint64_t busy_cycles = 0;
   };
@@ -96,7 +98,8 @@ class Dram {
   }
 
   DramConfig cfg_;
-  std::vector<Channel> channels_;
+  std::vector<Bank> banks_;        // channels * banks_per_channel, flat
+  std::vector<ChannelBus> buses_;  // one per channel
   DramCounters counters_;
   // Timings pre-converted to CPU cycles.
   uint64_t t_cl_, t_rcd_, t_rp_, t_burst_, half_burst_;

@@ -101,7 +101,11 @@ SimConfig ExperimentRunner::config_for(const Workload& wl) const {
   SimConfig cfg = base_;
   cfg.scale_caches(wl.cache_scale());
   cfg.llc.size_bytes = wl.llc_bytes();
-  cfg.avr.t1_mantissa_msbit = wl.t1_msbit();
+  // The --t1 sweep axis forces one threshold across all workloads; the
+  // default (-1) keeps the paper's per-application thresholds.
+  cfg.avr.t1_mantissa_msbit = base_.avr.t1_override >= 0
+                                  ? static_cast<uint32_t>(base_.avr.t1_override)
+                                  : wl.t1_msbit();
   return cfg;
 }
 
@@ -148,8 +152,9 @@ double ExperimentRunner::cost_estimate(const std::string& wl, Design d) {
   } catch (const std::exception&) {
     // Unknown workload: keep the default; run() will surface the error.
   }
-  // ~8e4 footprint-bytes per simulated second (fit from the default sweep).
-  return static_cast<double>(footprint) * design_cost_factor(d) / 8e4;
+  // ~5e5 footprint-bytes per simulated second (median fit from the default
+  // sweep re-measured after the PR-5 access-chain fast path).
+  return static_cast<double>(footprint) * design_cost_factor(d) / 5e5;
 }
 
 const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d) {

@@ -69,6 +69,52 @@ std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s) {
   return slice;
 }
 
+std::vector<VariantPoint> full_variant_grid(
+    const std::vector<int>& t1_values, const std::vector<std::string>& workloads,
+    const std::vector<Design>& designs) {
+  std::vector<VariantPoint> grid;
+  grid.reserve(t1_values.size() * workloads.size() * designs.size());
+  for (int t1 : t1_values)
+    for (const auto& w : workloads)
+      for (Design d : designs) grid.push_back({t1, {w, d}});
+  return grid;
+}
+
+std::vector<VariantPoint> shard_slice(const std::vector<VariantPoint>& grid,
+                                      Shard s) {
+  std::vector<VariantPoint> slice;
+  slice.reserve(grid.size() / s.count + 1);
+  for (size_t i = s.index; i < grid.size(); i += s.count) slice.push_back(grid[i]);
+  return slice;
+}
+
+SimConfig variant_config(int t1) {
+  SimConfig cfg;
+  cfg.avr.t1_override = t1 < 0 ? -1 : t1;
+  return cfg;
+}
+
+std::vector<int> parse_t1_list(const std::string& csv) {
+  if (csv.empty()) return {-1};
+  std::vector<int> out;
+  for (const auto& tok : split_csv(csv)) {
+    size_t pos = 0;
+    int v = 0;
+    try {
+      v = std::stoi(tok, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad --t1 value: " + tok);
+    }
+    // 0..22: an fp32 mantissa MSbit index the compressor can bound against.
+    if (pos != tok.size() || v < 0 || v > 22)
+      throw std::invalid_argument("bad --t1 value: " + tok +
+                                  " (want an integer in 0..22)");
+    out.push_back(v);
+  }
+  if (out.empty()) throw std::invalid_argument("empty --t1 list");
+  return out;
+}
+
 Design design_from_name(const std::string& name) {
   const std::string n = lower(name);
   for (Design d : {Design::kBaseline, Design::kDoppelganger, Design::kTruncate,

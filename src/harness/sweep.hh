@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/types.hh"
 
 namespace avr {
@@ -26,6 +27,18 @@ struct Shard {
 
 using Point = std::pair<std::string, Design>;
 
+/// One point of a (config, workload, design) grid: the config axis is the
+/// forced T1 threshold (t1 == -1 means the default per-workload
+/// thresholds). Records of different t1 values carry different v3 config
+/// fingerprints, so one cache file holds the whole variant grid.
+struct VariantPoint {
+  int t1 = -1;
+  Point point;
+
+  bool operator==(const VariantPoint&) const = default;
+  auto operator<=>(const VariantPoint&) const = default;
+};
+
 /// Parses "i/N" (e.g. "0/3"). Throws std::invalid_argument unless
 /// 0 <= i < N.
 Shard parse_shard(const std::string& spec);
@@ -34,8 +47,26 @@ Shard parse_shard(const std::string& spec);
 std::vector<Point> full_grid(const std::vector<std::string>& workloads,
                              const std::vector<Design>& designs);
 
+/// Full (t1 x workload x design) cross product: t1-major, then the
+/// canonical workload-major order within each variant.
+std::vector<VariantPoint> full_variant_grid(
+    const std::vector<int>& t1_values, const std::vector<std::string>& workloads,
+    const std::vector<Design>& designs);
+
 /// The points shard `s` owns, in canonical order.
 std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s);
+std::vector<VariantPoint> shard_slice(const std::vector<VariantPoint>& grid,
+                                      Shard s);
+
+/// The base SimConfig simulating variant `t1`: default except
+/// avr.t1_override (see AvrConfig::t1_override). t1 == -1 is exactly the
+/// default config, fingerprint included.
+SimConfig variant_config(int t1);
+
+/// Comma-separated list of T1 mantissa-msbit indices (e.g. "4,6,8");
+/// "" yields {-1}, the default per-workload-threshold grid. Throws
+/// std::invalid_argument for non-numeric or out-of-range (0..22) entries.
+std::vector<int> parse_t1_list(const std::string& csv);
 
 /// Parses one design name as printed by to_string(Design) —
 /// "baseline", "dganger", "truncate", "ZeroAVR", "AVR" — case-insensitively.

@@ -27,6 +27,12 @@ uint64_t RegionRegistry::allocate(std::string name, uint64_t bytes, bool approx,
   return base;
 }
 
+RegionHandle RegionRegistry::handle(const std::string& name) {
+  for (auto& r : regions_)
+    if (r.name == name) return {r.host.get(), r.base, r.bytes};
+  return {};
+}
+
 const MemoryRegion* RegionRegistry::find(uint64_t addr) const {
   // Regions are allocated in ascending order; binary search on base.
   auto it = std::upper_bound(regions_.begin(), regions_.end(), addr,

@@ -9,6 +9,7 @@
 // ("we actually update the values of the memory contents").
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -28,6 +29,21 @@ struct MemoryRegion {
   std::unique_ptr<std::byte[]> host;  // backing store, `bytes` long
 };
 
+/// Resolved view of one region, handed to workloads so the per-access
+/// functional path is a plain pointer add instead of a registry search.
+/// Valid for the owning RegionRegistry's lifetime: the backing array never
+/// moves (regions are never freed, and `host` owns the array independently
+/// of the registry's region vector reallocating).
+struct RegionHandle {
+  std::byte* host = nullptr;  // backing store base
+  uint64_t sim_base = 0;      // simulated physical base address
+  uint64_t bytes = 0;         // padded region length
+
+  /// Simulated address of byte offset `off` (for the timing path).
+  uint64_t addr(uint64_t off) const { return sim_base + off; }
+  bool valid() const { return host != nullptr; }
+};
+
 class RegionRegistry {
  public:
   /// Allocates a region of `bytes` (rounded up to whole memory blocks).
@@ -37,6 +53,9 @@ class RegionRegistry {
 
   /// Region containing `addr`, or nullptr.
   const MemoryRegion* find(uint64_t addr) const;
+
+  /// Handle for the region named `name` (first match), or an invalid handle.
+  RegionHandle handle(const std::string& name);
 
   bool is_approx(uint64_t addr) const {
     const MemoryRegion* r = find(addr);

@@ -9,28 +9,50 @@
 #include "baselines/truncate_system.hh"
 
 namespace avr {
+namespace {
+
+/// Concrete-type LLC dispatch: the hierarchy calls through this function
+/// pointer instead of two virtual hops (request + last_was_miss). The
+/// qualified calls are resolved statically — every LLC implementation is
+/// final, so `Llc` is the exact dynamic type System just constructed.
+template <typename Llc>
+MemoryHierarchy::LlcReply llc_request_thunk(LlcSystem& llc, uint64_t now,
+                                            uint64_t line, bool write) {
+  auto& t = static_cast<Llc&>(llc);
+  const uint64_t latency = t.Llc::request(now, line, write);
+  return {latency, t.Llc::last_was_miss()};
+}
+
+}  // namespace
 
 System::System(Design design, SimConfig cfg, uint32_t num_cores, bool timing)
     : design_(design), cfg_(cfg), timing_(timing) {
   if (!timing_) return;  // golden/functional run: no machinery at all
+  MemoryHierarchy::LlcRequestFn request_fn = nullptr;
   switch (design) {
     case Design::kBaseline:
       llc_ = std::make_unique<BaselineSystem>(cfg_, regions_);
+      request_fn = &llc_request_thunk<BaselineSystem>;
       break;
     case Design::kTruncate:
       llc_ = std::make_unique<TruncateSystem>(cfg_, regions_);
+      request_fn = &llc_request_thunk<TruncateSystem>;
       break;
     case Design::kDoppelganger:
       llc_ = std::make_unique<DoppelgangerSystem>(cfg_, regions_);
+      request_fn = &llc_request_thunk<DoppelgangerSystem>;
       break;
     case Design::kZeroAvr:
     case Design::kAvr:
       llc_ = std::make_unique<AvrSystem>(cfg_, regions_);
+      request_fn = &llc_request_thunk<AvrSystem>;
       break;
   }
-  hier_ = std::make_unique<MemoryHierarchy>(cfg_, *llc_, num_cores);
+  hier_ = std::make_unique<MemoryHierarchy>(cfg_, *llc_, num_cores, request_fn);
   for (uint32_t c = 0; c < num_cores; ++c)
     cores_.push_back(std::make_unique<IntervalCore>(cfg_.core, *hier_, c));
+  ops_per_access_ = cfg_.ops_per_access;
+  active_core_ptr_ = cores_[0].get();
 }
 
 System::~System() = default;

@@ -59,6 +59,19 @@ class System {
   uint64_t alloc(const std::string& name, uint64_t bytes, bool approx,
                  DType dtype = DType::kFloat32);
 
+  /// alloc() returning a resolved RegionHandle — the fast-path API the
+  /// workloads program against: functional access through a handle is one
+  /// pointer add instead of a registry search per load/store.
+  RegionHandle alloc_region(const std::string& name, uint64_t bytes, bool approx,
+                            DType dtype = DType::kFloat32) {
+    alloc(name, bytes, approx, dtype);
+    return regions_.handle(name);
+  }
+  /// Handle for an already-allocated region (invalid handle if unknown).
+  RegionHandle region(const std::string& name) { return regions_.handle(name); }
+
+  // Address-based accessors (kept for tests and generic tooling): resolve
+  // the host pointer through the region registry on every access.
   float load_f32(uint64_t addr) {
     touch(addr, /*write=*/false);
     return regions_.load<float>(addr);
@@ -72,13 +85,47 @@ class System {
   float peek_f32(uint64_t addr) const { return regions_.load<float>(addr); }
   void poke_f32(uint64_t addr, float v) { regions_.store(addr, v); }
 
-  /// Non-memory instructions surrounding the accesses.
+  // Handle-based accessors: identical simulated behaviour to the address
+  // forms (same touch() on h.sim_base + off), functional part collapsed to
+  // host + off. Offsets are bounds-checked in Debug builds only.
+  float load_f32(const RegionHandle& h, uint64_t off) {
+    assert(h.bytes >= sizeof(float) && off <= h.bytes - sizeof(float) &&
+           "handle load out of range");
+    touch(h.sim_base + off, /*write=*/false);
+    float v;
+    __builtin_memcpy(&v, h.host + off, sizeof(float));
+    return v;
+  }
+  void store_f32(const RegionHandle& h, uint64_t off, float v) {
+    assert(h.bytes >= sizeof(float) && off <= h.bytes - sizeof(float) &&
+           "handle store out of range");
+    touch(h.sim_base + off, /*write=*/true);
+    __builtin_memcpy(h.host + off, &v, sizeof(float));
+  }
+  float peek_f32(const RegionHandle& h, uint64_t off) const {
+    assert(h.bytes >= sizeof(float) && off <= h.bytes - sizeof(float) &&
+           "handle peek out of range");
+    float v;
+    __builtin_memcpy(&v, h.host + off, sizeof(float));
+    return v;
+  }
+  void poke_f32(const RegionHandle& h, uint64_t off, float v) {
+    assert(h.bytes >= sizeof(float) && off <= h.bytes - sizeof(float) &&
+           "handle poke out of range");
+    __builtin_memcpy(h.host + off, &v, sizeof(float));
+  }
+
+  /// Non-memory instructions surrounding the accesses, charged to the core
+  /// selected by use_core() — the same core the accesses bill to.
   void ops(uint64_t n) {
-    if (timing_) core(0).ops(n);
+    if (timing_) core(active_core_).ops(n);
   }
   /// Route subsequent accesses to a given simulated core (round-robin
   /// partitioning of multi-core workloads).
-  void use_core(uint32_t c) { active_core_ = c < cores_.size() ? c : 0; }
+  void use_core(uint32_t c) {
+    active_core_ = c < cores_.size() ? c : 0;
+    active_core_ptr_ = cores_.empty() ? nullptr : cores_[active_core_].get();
+  }
 
   void finish();
   RunMetrics metrics() const;
@@ -94,13 +141,10 @@ class System {
 
  private:
   void touch(uint64_t addr, bool write) {
-    if (!timing_) return;
-    IntervalCore& c = *cores_[active_core_];
-    if (cfg_.ops_per_access) c.ops(cfg_.ops_per_access);
-    if (write)
-      c.store(addr);
-    else
-      c.load(addr);
+    // active_core_ptr_ is null exactly when timing is off (no cores built),
+    // so one test covers both "functional run" and "nothing to charge".
+    if (IntervalCore* c = active_core_ptr_)
+      c->access(addr, write, ops_per_access_);
   }
 
   Design design_;
@@ -108,6 +152,8 @@ class System {
   bool timing_;
   bool finished_ = false;
   uint32_t active_core_ = 0;
+  uint64_t ops_per_access_ = 0;        // hoisted from cfg_ for touch()
+  IntervalCore* active_core_ptr_ = nullptr;  // hoisted cores_[active_core_]
   RegionRegistry regions_;
   std::unique_ptr<LlcSystem> llc_;
   std::unique_ptr<MemoryHierarchy> hier_;

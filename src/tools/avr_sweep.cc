@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,11 @@ the shared CSV cache. Exits nonzero if any point fails.
   --designs x,y      comma-separated design subset, names as printed in the
                      tables: baseline,dganger,truncate,ZeroAVR,AVR
                      (default: all five)
+  --t1 N[,N...]      config axis: sweep with the T1 error threshold forced
+                     to mantissa-MSbit index N for every workload (records
+                     carry each variant's config fingerprint, so variants
+                     coexist in one cache file). Default: the per-workload
+                     paper thresholds only.
   --cache path       result cache file (default: avr_results_cache.csv or
                      $AVR_RESULT_CACHE); "" disables persistence
   --list             print this shard's points and exit (runs nothing)
@@ -49,6 +56,7 @@ struct Options {
   unsigned jobs = 0;
   std::vector<std::string> workloads;
   std::vector<avr::Design> designs;
+  std::vector<int> t1_values{-1};
   std::string cache_path = avr::ExperimentRunner::default_cache_path();
   std::string assert_same_path;
   bool list = false;
@@ -81,6 +89,8 @@ Options parse_args(int argc, char** argv) {
       o.workloads = avr::sweep::parse_workload_list(value(i, "--workloads"));
     } else if (a == "--designs") {
       o.designs = avr::sweep::parse_design_list(value(i, "--designs"));
+    } else if (a == "--t1") {
+      o.t1_values = avr::sweep::parse_t1_list(value(i, "--t1"));
     } else if (a == "--cache") {
       o.cache_path = value(i, "--cache");
     } else if (a == "--assert-same") {
@@ -111,21 +121,39 @@ bool same_metrics(avr::ExperimentResult a, avr::ExperimentResult b) {
   return avr::encode_result_line(a) == avr::encode_result_line(b);
 }
 
-/// avr_sweep only ever runs the default-configuration grid, so its coverage
-/// and identity checks must see only default-config records: the shared
-/// cache file may also hold ablation-variant records (other fingerprints)
-/// for the same (workload, design) keys, which would otherwise shadow the
-/// grid's records in the loaded map.
-uint64_t default_fingerprint() { return avr::config_fingerprint(avr::SimConfig{}); }
+/// Coverage and identity checks must see only records simulated under the
+/// variant being checked: the shared cache file may hold records for the
+/// same (workload, design) keys under other fingerprints (ablation or --t1
+/// variants), which would otherwise shadow the grid's records in the
+/// loaded map. t1 == -1 is the default configuration.
+uint64_t variant_fingerprint(int t1) {
+  return avr::config_fingerprint(avr::sweep::variant_config(t1));
+}
 
-int check_coverage(const Options& o, const std::vector<avr::sweep::Point>& slice) {
-  const auto cache = avr::load_result_cache(o.cache_path, default_fingerprint());
+/// The slice grouped by t1 variant, preserving point order within a group.
+std::map<int, std::vector<avr::sweep::Point>> by_variant(
+    const std::vector<avr::sweep::VariantPoint>& slice) {
+  std::map<int, std::vector<avr::sweep::Point>> groups;
+  for (const auto& vp : slice) groups[vp.t1].push_back(vp.point);
+  return groups;
+}
+
+int check_coverage(const Options& o,
+                   const std::vector<avr::sweep::VariantPoint>& slice) {
   size_t missing = 0;
-  for (const auto& p : slice) {
-    if (!cache.count(p)) {
-      std::fprintf(stderr, "missing: %s x %s\n", p.first.c_str(),
-                   avr::to_string(p.second));
-      ++missing;
+  for (const auto& [t1, points] : by_variant(slice)) {
+    const auto cache =
+        avr::load_result_cache(o.cache_path, variant_fingerprint(t1));
+    for (const auto& p : points) {
+      if (!cache.count(p)) {
+        if (t1 < 0)
+          std::fprintf(stderr, "missing: %s x %s\n", p.first.c_str(),
+                       avr::to_string(p.second));
+        else
+          std::fprintf(stderr, "missing: %s x %s (t1=%d)\n", p.first.c_str(),
+                       avr::to_string(p.second), t1);
+        ++missing;
+      }
     }
   }
   if (missing) {
@@ -139,33 +167,38 @@ int check_coverage(const Options& o, const std::vector<avr::sweep::Point>& slice
 }
 
 int check_same(const Options& o) {
-  const auto a = avr::load_result_cache(o.cache_path, default_fingerprint());
-  const auto b = avr::load_result_cache(o.assert_same_path, default_fingerprint());
-  // A missing or record-free file would make the comparison vacuously true —
-  // exactly what a path typo in a verification command must not do.
-  if (a.empty() || b.empty()) {
-    std::fprintf(stderr, "avr_sweep: no valid records in %s\n",
-                 a.empty() ? o.cache_path.c_str() : o.assert_same_path.c_str());
-    return 1;
-  }
-  size_t differences = 0;
-  for (const auto& [key, ra] : a) {
-    auto it = b.find(key);
-    if (it == b.end()) {
-      std::fprintf(stderr, "only in %s: %s x %s\n", o.cache_path.c_str(),
-                   key.first.c_str(), avr::to_string(key.second));
-      ++differences;
-    } else if (!same_metrics(ra, it->second)) {
-      std::fprintf(stderr, "values differ: %s x %s\n", key.first.c_str(),
-                   avr::to_string(key.second));
-      ++differences;
+  size_t differences = 0, compared = 0;
+  for (int t1 : o.t1_values) {
+    const uint64_t fp = variant_fingerprint(t1);
+    const auto a = avr::load_result_cache(o.cache_path, fp);
+    const auto b = avr::load_result_cache(o.assert_same_path, fp);
+    // A missing or record-free file would make the comparison vacuously
+    // true — exactly what a path typo in a verification command must not do.
+    if (a.empty() || b.empty()) {
+      std::fprintf(stderr, "avr_sweep: no valid records in %s\n",
+                   a.empty() ? o.cache_path.c_str() : o.assert_same_path.c_str());
+      return 1;
     }
-  }
-  for (const auto& [key, rb] : b) {
-    if (!a.count(key)) {
-      std::fprintf(stderr, "only in %s: %s x %s\n", o.assert_same_path.c_str(),
-                   key.first.c_str(), avr::to_string(key.second));
-      ++differences;
+    compared += a.size();
+    for (const auto& [key, ra] : a) {
+      auto it = b.find(key);
+      if (it == b.end()) {
+        std::fprintf(stderr, "only in %s: %s x %s\n", o.cache_path.c_str(),
+                     key.first.c_str(), avr::to_string(key.second));
+        ++differences;
+      } else if (!same_metrics(ra, it->second)) {
+        std::fprintf(stderr, "values differ: %s x %s\n", key.first.c_str(),
+                     avr::to_string(key.second));
+        ++differences;
+      }
+    }
+    for (const auto& [key, rb] : b) {
+      if (!a.count(key)) {
+        std::fprintf(stderr, "only in %s: %s x %s\n",
+                     o.assert_same_path.c_str(), key.first.c_str(),
+                     avr::to_string(key.second));
+        ++differences;
+      }
     }
   }
   if (differences) {
@@ -174,7 +207,7 @@ int check_same(const Options& o) {
     return 1;
   }
   std::printf("%s and %s agree on all %zu points\n", o.cache_path.c_str(),
-              o.assert_same_path.c_str(), a.size());
+              o.assert_same_path.c_str(), compared);
   return 0;
 }
 
@@ -190,31 +223,52 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto grid = sweep::full_grid(o.workloads, o.designs);
+  // The (t1 x workload x design) variant grid; the default --t1 list {-1}
+  // makes it exactly the historical (workload x design) grid.
+  const auto grid = sweep::full_variant_grid(o.t1_values, o.workloads, o.designs);
   const auto slice = sweep::shard_slice(grid, o.shard);
+  const bool t1_axis = o.t1_values.size() > 1 || o.t1_values[0] >= 0;
 
   if (o.list) {
-    for (const auto& [w, d] : slice)
-      std::printf("%s,%s\n", w.c_str(), to_string(d));
+    for (const auto& [t1, p] : slice) {
+      if (t1_axis)
+        std::printf("%d,%s,%s\n", t1, p.first.c_str(), to_string(p.second));
+      else
+        std::printf("%s,%s\n", p.first.c_str(), to_string(p.second));
+    }
     return 0;
   }
   if (o.check) return check_coverage(o, slice);
   if (o.assert_same) return check_same(o);
 
-  ExperimentRunner runner({}, /*verbose=*/!o.quiet, o.cache_path);
+  // One runner per t1 variant in this slice: each loads and appends only
+  // records carrying its own config fingerprint, so all variants share the
+  // one cache file.
+  const auto groups = by_variant(slice);
   size_t warm = 0;
-  for (const auto& [w, d] : slice)
-    if (runner.cached(w, d)) ++warm;
+  std::vector<std::pair<int, std::unique_ptr<ExperimentRunner>>> runners;
+  for (const auto& [t1, points] : groups) {
+    runners.emplace_back(t1, std::make_unique<ExperimentRunner>(
+                                 sweep::variant_config(t1), /*verbose=*/!o.quiet,
+                                 o.cache_path));
+    for (const auto& [w, d] : points)
+      if (runners.back().second->cached(w, d)) ++warm;
+  }
 
   std::fprintf(stderr,
-               "[sweep] shard %u/%u: %zu of %zu grid points (%zu cached), "
-               "%u jobs, cache=%s\n",
+               "[sweep] shard %u/%u: %zu of %zu grid points (%zu cached, "
+               "%zu variant(s)), %u jobs, cache=%s\n",
                o.shard.index, o.shard.count, slice.size(), grid.size(), warm,
-               o.jobs, o.cache_path.empty() ? "<disabled>" : o.cache_path.c_str());
+               groups.size(), o.jobs,
+               o.cache_path.empty() ? "<disabled>" : o.cache_path.c_str());
 
   const auto t0 = std::chrono::steady_clock::now();
+  size_t write_failures = 0;
   try {
-    runner.run_points(slice, o.jobs);
+    for (auto& [t1, runner] : runners) {
+      runner->run_points(groups.at(t1), o.jobs);
+      write_failures += runner->disk_write_failures();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "avr_sweep: point failed: %s\n", e.what());
     return 1;
@@ -224,9 +278,9 @@ int main(int argc, char** argv) {
   // The shard cache IS this process's output: results that only exist in
   // memory are lost when it exits, so persistence failures are fatal here
   // (unlike in the figure benches, which still print their tables).
-  if (!o.cache_path.empty() && runner.disk_write_failures() > 0) {
+  if (!o.cache_path.empty() && write_failures > 0) {
     std::fprintf(stderr, "avr_sweep: %zu result(s) could not be appended to %s\n",
-                 runner.disk_write_failures(), o.cache_path.c_str());
+                 write_failures, o.cache_path.c_str());
     return 1;
   }
   std::printf("[sweep] shard %u/%u done: %zu points (%zu simulated) in %.1fs\n",

@@ -26,13 +26,13 @@ class BscholesWorkload final : public Workload {
   void run(System& sys) override {
     const uint64_t n = kOptions * sizeof(float);
     // ~30 % of the footprint approximable: spot/strike/vol inputs.
-    spot_ = sys.alloc("bs.spot", n, /*approx=*/true);
-    strike_ = sys.alloc("bs.strike", n, /*approx=*/true);
-    vol_ = sys.alloc("bs.vol", n, /*approx=*/true);
-    rate_ = sys.alloc("bs.rate", n, /*approx=*/false);
-    time_ = sys.alloc("bs.time", n, /*approx=*/false);
-    price_ = sys.alloc("bs.price", n, /*approx=*/false);
-    put_ = sys.alloc("bs.put", n, /*approx=*/false);
+    spot_ = sys.alloc_region("bs.spot", n, /*approx=*/true);
+    strike_ = sys.alloc_region("bs.strike", n, /*approx=*/true);
+    vol_ = sys.alloc_region("bs.vol", n, /*approx=*/true);
+    rate_ = sys.alloc_region("bs.rate", n, /*approx=*/false);
+    time_ = sys.alloc_region("bs.time", n, /*approx=*/false);
+    price_ = sys.alloc_region("bs.price", n, /*approx=*/false);
+    put_ = sys.alloc_region("bs.put", n, /*approx=*/false);
 
     // Inputs are laid out as option *chains*: consecutive entries belong to
     // the same underlying, so the spot field repeats for a whole chain, the
@@ -53,25 +53,25 @@ class BscholesWorkload final : public Workload {
         // Volatility smile: quadratic in log-moneyness.
         const float lm = std::log(moneyness);
         const float vol = base_vol + 0.25f * lm * lm;
-        sys.store_f32(spot_ + i * 4ull, spot);
-        sys.store_f32(strike_ + i * 4ull, strike);
-        sys.store_f32(vol_ + i * 4ull, vol);
-        sys.store_f32(rate_ + i * 4ull, rate);
-        sys.store_f32(time_ + i * 4ull, tte);
+        sys.store_f32(spot_, i * 4ull, spot);
+        sys.store_f32(strike_, i * 4ull, strike);
+        sys.store_f32(vol_, i * 4ull, vol);
+        sys.store_f32(rate_, i * 4ull, rate);
+        sys.store_f32(time_, i * 4ull, tte);
       }
     }
 
     for (uint32_t round = 0; round < kRounds; ++round) {
       for (uint32_t i = 0; i < kOptions; ++i) {
-        const float s = sys.load_f32(spot_ + i * 4ull);
-        const float k = sys.load_f32(strike_ + i * 4ull);
-        const float v = sys.load_f32(vol_ + i * 4ull);
-        const float r = sys.load_f32(rate_ + i * 4ull);
-        const float t = sys.load_f32(time_ + i * 4ull);
+        const float s = sys.load_f32(spot_, i * 4ull);
+        const float k = sys.load_f32(strike_, i * 4ull);
+        const float v = sys.load_f32(vol_, i * 4ull);
+        const float r = sys.load_f32(rate_, i * 4ull);
+        const float t = sys.load_f32(time_, i * 4ull);
         const auto [call, put] = black_scholes(s, k, v, r, t);
         sys.ops(320);  // exp/log/sqrt/CNDF pipeline per option
-        sys.store_f32(price_ + i * 4ull, call);
-        sys.store_f32(put_ + i * 4ull, put);
+        sys.store_f32(price_, i * 4ull, call);
+        sys.store_f32(put_, i * 4ull, put);
       }
     }
   }
@@ -80,8 +80,8 @@ class BscholesWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(2ull * kOptions);
     for (uint32_t i = 0; i < kOptions; ++i) {
-      out.push_back(sys.peek_f32(price_ + i * 4ull));
-      out.push_back(sys.peek_f32(put_ + i * 4ull));
+      out.push_back(sys.peek_f32(price_, i * 4ull));
+      out.push_back(sys.peek_f32(put_, i * 4ull));
     }
     return out;
   }
@@ -101,8 +101,7 @@ class BscholesWorkload final : public Workload {
     return {call, put};
   }
 
-  uint64_t spot_ = 0, strike_ = 0, vol_ = 0, rate_ = 0, time_ = 0, price_ = 0,
-           put_ = 0;
+  RegionHandle spot_, strike_, vol_, rate_, time_, price_, put_;
 };
 
 }  // namespace

@@ -23,8 +23,8 @@ class HeatWorkload final : public Workload {
 
   void run(System& sys) override {
     const uint64_t bytes = uint64_t{kN} * kN * sizeof(float);
-    a_ = sys.alloc("heat.t0", bytes, /*approx=*/true);
-    b_ = sys.alloc("heat.t1", bytes, /*approx=*/true);
+    a_ = sys.alloc_region("heat.t0", bytes, /*approx=*/true);
+    b_ = sys.alloc_region("heat.t1", bytes, /*approx=*/true);
 
     // Initial field: ambient temperature with a few hot sources along one
     // edge and a cold sink, all smooth after the first iterations.
@@ -33,22 +33,22 @@ class HeatWorkload final : public Workload {
         float t = 20.0f;
         if (r == 0) t = 90.0f + 10.0f * std::sin(c * 0.05f);
         if (r == kN - 1) t = 5.0f;
-        sys.store_f32(at(a_, r, c), t);
+        sys.store_f32(a_, at(r, c), t);
       }
 
-    uint64_t cur = a_, nxt = b_;
+    RegionHandle cur = a_, nxt = b_;
     for (uint32_t it = 0; it < kIters; ++it) {
       for (uint32_t r = 0; r < kN; ++r)
         for (uint32_t c = 0; c < kN; ++c) {
           if (r == 0 || r == kN - 1 || c == 0 || c == kN - 1) {
-            sys.store_f32(at(nxt, r, c), sys.load_f32(at(cur, r, c)));
+            sys.store_f32(nxt, at(r, c), sys.load_f32(cur, at(r, c)));
             continue;
           }
-          const float up = sys.load_f32(at(cur, r - 1, c));
-          const float dn = sys.load_f32(at(cur, r + 1, c));
-          const float lf = sys.load_f32(at(cur, r, c - 1));
-          const float rt = sys.load_f32(at(cur, r, c + 1));
-          sys.store_f32(at(nxt, r, c), 0.25f * (up + dn + lf + rt));
+          const float up = sys.load_f32(cur, at(r - 1, c));
+          const float dn = sys.load_f32(cur, at(r + 1, c));
+          const float lf = sys.load_f32(cur, at(r, c - 1));
+          const float rt = sys.load_f32(cur, at(r, c + 1));
+          sys.store_f32(nxt, at(r, c), 0.25f * (up + dn + lf + rt));
         }
       std::swap(cur, nxt);
     }
@@ -60,15 +60,15 @@ class HeatWorkload final : public Workload {
     out.reserve(uint64_t{kN} * kN);
     for (uint32_t r = 0; r < kN; ++r)
       for (uint32_t c = 0; c < kN; ++c)
-        out.push_back(sys.peek_f32(at(final_, r, c)));
+        out.push_back(sys.peek_f32(final_, at(r, c)));
     return out;
   }
 
  private:
-  uint64_t at(uint64_t base, uint32_t r, uint32_t c) const {
-    return base + (uint64_t{r} * kN + c) * sizeof(float);
+  uint64_t at(uint32_t r, uint32_t c) const {
+    return (uint64_t{r} * kN + c) * sizeof(float);
   }
-  uint64_t a_ = 0, b_ = 0, final_ = 0;
+  RegionHandle a_, b_, final_;
 };
 
 }  // namespace

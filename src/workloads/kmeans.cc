@@ -27,14 +27,16 @@ class KmeansWorkload final : public Workload {
   uint64_t llc_bytes() const override { return 64 * 1024; }
 
   void run(System& sys) override {
-    data_ = sys.alloc("kmeans.elevation", kPoints * sizeof(float), /*approx=*/true);
-    cent_ = sys.alloc("kmeans.centroids", kK * sizeof(float), /*approx=*/false);
+    data_ = sys.alloc_region("kmeans.elevation", kPoints * sizeof(float),
+                             /*approx=*/true);
+    cent_ = sys.alloc_region("kmeans.centroids", kK * sizeof(float),
+                             /*approx=*/false);
 
     synthesize_terrain(sys);
 
     // Initial centroids spread over the elevation range.
     for (uint32_t k = 0; k < kK; ++k)
-      sys.store_f32(cent_ + k * sizeof(float),
+      sys.store_f32(cent_, k * sizeof(float),
                     100.0f + 900.0f * static_cast<float>(k) / (kK - 1));
 
     std::vector<double> sums(kK);
@@ -45,11 +47,11 @@ class KmeansWorkload final : public Workload {
       std::fill(counts.begin(), counts.end(), 0);
       // Assignment pass (streams the whole elevation array).
       for (uint32_t i = 0; i < kPoints; ++i) {
-        const float v = sys.load_f32(data_ + uint64_t{i} * sizeof(float));
+        const float v = sys.load_f32(data_, uint64_t{i} * sizeof(float));
         uint32_t best = 0;
         float best_d = 1e30f;
         for (uint32_t k = 0; k < kK; ++k) {
-          const float c = sys.load_f32(cent_ + k * sizeof(float));
+          const float c = sys.load_f32(cent_, k * sizeof(float));
           const float d = std::abs(v - c);
           if (d < best_d) {
             best_d = d;
@@ -65,8 +67,8 @@ class KmeansWorkload final : public Workload {
       for (uint32_t k = 0; k < kK; ++k) {
         if (counts[k] == 0) continue;
         const float nc = static_cast<float>(sums[k] / counts[k]);
-        shift += std::abs(nc - sys.load_f32(cent_ + k * sizeof(float)));
-        sys.store_f32(cent_ + k * sizeof(float), nc);
+        shift += std::abs(nc - sys.load_f32(cent_, k * sizeof(float)));
+        sys.store_f32(cent_, k * sizeof(float), nc);
       }
       sys.ops(8 * kK);
       iterations_ = it + 1;
@@ -81,7 +83,7 @@ class KmeansWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(kK);
     for (uint32_t k = 0; k < kK; ++k)
-      out.push_back(sys.peek_f32(cent_ + k * sizeof(float)));
+      out.push_back(sys.peek_f32(cent_, k * sizeof(float)));
     return out;
   }
 
@@ -120,12 +122,12 @@ class KmeansWorkload final : public Workload {
           0.012f * (v + 150.0f) * static_cast<float>(rng.uniform(-1.0, 1.0));
       if (rng.uniform() < 0.33)  // canopy/building spike -> outlier
         rough += 0.25f * (v + 150.0f) * static_cast<float>(rng.uniform(-1.0, 1.0));
-      sys.store_f32(data_ + uint64_t{i} * sizeof(float),
+      sys.store_f32(data_, uint64_t{i} * sizeof(float),
                     std::max(0.0f, v + rough));
     }
   }
 
-  uint64_t data_ = 0, cent_ = 0;
+  RegionHandle data_, cent_;
   uint32_t iterations_ = 0;
 };
 

@@ -27,12 +27,12 @@ class LatticeWorkload final : public Workload {
 
   void run(System& sys) override {
     const uint64_t dist_bytes = uint64_t{kNx} * kNy * kQ * sizeof(float);
-    f_ = sys.alloc("lattice.P", dist_bytes, /*approx=*/true);
-    g_ = sys.alloc("lattice.M", dist_bytes, /*approx=*/true);
+    f_ = sys.alloc_region("lattice.P", dist_bytes, /*approx=*/true);
+    g_ = sys.alloc_region("lattice.M", dist_bytes, /*approx=*/true);
     // Macroscopic output buffers are exact (they are the program output).
-    rho_ = sys.alloc("lattice.rho", uint64_t{kNx} * kNy * sizeof(float), false);
-    ux_ = sys.alloc("lattice.ux", uint64_t{kNx} * kNy * sizeof(float), false);
-    uy_ = sys.alloc("lattice.uy", uint64_t{kNx} * kNy * sizeof(float), false);
+    rho_ = sys.alloc_region("lattice.rho", uint64_t{kNx} * kNy * sizeof(float), false);
+    ux_ = sys.alloc_region("lattice.ux", uint64_t{kNx} * kNy * sizeof(float), false);
+    uy_ = sys.alloc_region("lattice.uy", uint64_t{kNx} * kNy * sizeof(float), false);
 
     build_obstacle();
 
@@ -40,9 +40,9 @@ class LatticeWorkload final : public Workload {
     for (uint32_t y = 0; y < kNy; ++y)
       for (uint32_t x = 0; x < kNx; ++x)
         for (uint32_t q = 0; q < kQ; ++q)
-          sys.store_f32(at(f_, x, y, q), feq(q, 1.0f, kInflow, 0.0f));
+          sys.store_f32(f_, at(x, y, q), feq(q, 1.0f, kInflow, 0.0f));
 
-    uint64_t cur = f_, nxt = g_;
+    RegionHandle cur = f_, nxt = g_;
     for (uint32_t it = 0; it < kIters; ++it) {
       step(sys, cur, nxt);
       std::swap(cur, nxt);
@@ -53,16 +53,16 @@ class LatticeWorkload final : public Workload {
       for (uint32_t x = 0; x < kNx; ++x) {
         float rho = 0, mx = 0, my = 0;
         for (uint32_t q = 0; q < kQ; ++q) {
-          const float fv = sys.load_f32(at(cur, x, y, q));
+          const float fv = sys.load_f32(cur, at(x, y, q));
           rho += fv;
           mx += fv * kCx[q];
           my += fv * kCy[q];
         }
         sys.ops(8);
         const uint64_t idx = (uint64_t{y} * kNx + x) * sizeof(float);
-        sys.store_f32(rho_ + idx, rho);
-        sys.store_f32(ux_ + idx, rho > 1e-6f ? mx / rho : 0.0f);
-        sys.store_f32(uy_ + idx, rho > 1e-6f ? my / rho : 0.0f);
+        sys.store_f32(rho_, idx, rho);
+        sys.store_f32(ux_, idx, rho > 1e-6f ? mx / rho : 0.0f);
+        sys.store_f32(uy_, idx, rho > 1e-6f ? my / rho : 0.0f);
       }
   }
 
@@ -72,9 +72,9 @@ class LatticeWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(2ull * kNx * kNy);
     for (uint64_t i = 0; i < uint64_t{kNx} * kNy; ++i) {
-      out.push_back(sys.peek_f32(rho_ + i * sizeof(float)));
-      const double vx = sys.peek_f32(ux_ + i * sizeof(float));
-      const double vy = sys.peek_f32(uy_ + i * sizeof(float));
+      out.push_back(sys.peek_f32(rho_, i * sizeof(float)));
+      const double vx = sys.peek_f32(ux_, i * sizeof(float));
+      const double vy = sys.peek_f32(uy_, i * sizeof(float));
       out.push_back(std::sqrt(vx * vx + vy * vy));
     }
     return out;
@@ -90,8 +90,8 @@ class LatticeWorkload final : public Workload {
   static constexpr std::array<uint32_t, kQ> kOpp = {0, 3, 4, 1, 2, 7, 8, 5, 6};
   static constexpr float kOmega = 1.0f;  // BGK relaxation (stable)
 
-  uint64_t at(uint64_t base, uint32_t x, uint32_t y, uint32_t q) const {
-    return base + ((uint64_t{q} * kNy + y) * kNx + x) * sizeof(float);
+  uint64_t at(uint32_t x, uint32_t y, uint32_t q) const {
+    return ((uint64_t{q} * kNy + y) * kNx + x) * sizeof(float);
   }
 
   static float feq(uint32_t q, float rho, float ux, float uy) {
@@ -118,20 +118,20 @@ class LatticeWorkload final : public Workload {
     return obstacle_[uint64_t{y} * kNx + x] != 0;
   }
 
-  void step(System& sys, uint64_t cur, uint64_t nxt) {
+  void step(System& sys, const RegionHandle& cur, const RegionHandle& nxt) {
     for (uint32_t y = 0; y < kNy; ++y)
       for (uint32_t x = 0; x < kNx; ++x) {
         if (is_solid(x, y)) {
           // Bounce-back: reflect distributions in place.
           for (uint32_t q = 0; q < kQ; ++q)
-            sys.store_f32(at(nxt, x, y, q), sys.load_f32(at(cur, x, y, kOpp[q])));
+            sys.store_f32(nxt, at(x, y, q), sys.load_f32(cur, at(x, y, kOpp[q])));
           continue;
         }
         // Collide.
         float rho = 0, mx = 0, my = 0;
         std::array<float, kQ> fv;
         for (uint32_t q = 0; q < kQ; ++q) {
-          fv[q] = sys.load_f32(at(cur, x, y, q));
+          fv[q] = sys.load_f32(cur, at(x, y, q));
           rho += fv[q];
           mx += fv[q] * kCx[q];
           my += fv[q] * kCy[q];
@@ -149,12 +149,12 @@ class LatticeWorkload final : public Workload {
           const float post = fv[q] + kOmega * (feq(q, rho, ux, uy) - fv[q]);
           const uint32_t xx = (x + kNx + kCx[q]) % kNx;
           const uint32_t yy = (y + kNy + kCy[q]) % kNy;
-          sys.store_f32(at(nxt, xx, yy, q), post);
+          sys.store_f32(nxt, at(xx, yy, q), post);
         }
       }
   }
 
-  uint64_t f_ = 0, g_ = 0, rho_ = 0, ux_ = 0, uy_ = 0;
+  RegionHandle f_, g_, rho_, ux_, uy_;
   std::vector<uint8_t> obstacle_;
 };
 

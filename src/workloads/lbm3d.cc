@@ -26,9 +26,9 @@ class Lbm3dWorkload final : public Workload {
   void run(System& sys) override {
     const uint64_t cells = uint64_t{kN} * kN * kN;
     const uint64_t dist_bytes = cells * kQ * sizeof(float);
-    f_ = sys.alloc("lbm.f", dist_bytes, /*approx=*/true);
-    g_ = sys.alloc("lbm.g", dist_bytes, /*approx=*/true);
-    out_ = sys.alloc("lbm.vel", cells * 3 * sizeof(float), /*approx=*/false);
+    f_ = sys.alloc_region("lbm.f", dist_bytes, /*approx=*/true);
+    g_ = sys.alloc_region("lbm.g", dist_bytes, /*approx=*/true);
+    out_ = sys.alloc_region("lbm.vel", cells * 3 * sizeof(float), /*approx=*/false);
 
     // Sphere obstacle in the middle of the duct.
     obstacle_.assign(cells, 0);
@@ -43,10 +43,10 @@ class Lbm3dWorkload final : public Workload {
 
     for (uint64_t c = 0; c < cells; ++c)
       for (uint32_t q = 0; q < kQ; ++q)
-        sys.store_f32(f_ + (q * cells + c) * sizeof(float),
+        sys.store_f32(f_, (q * cells + c) * sizeof(float),
                       feq(q, 1.0f, kInflow, 0.0f, 0.0f));
 
-    uint64_t cur = f_, nxt = g_;
+    RegionHandle cur = f_, nxt = g_;
     for (uint32_t it = 0; it < kIters; ++it) {
       step(sys, cur, nxt, cells);
       std::swap(cur, nxt);
@@ -55,7 +55,7 @@ class Lbm3dWorkload final : public Workload {
     for (uint64_t c = 0; c < cells; ++c) {
       float rho = 0, mx = 0, my = 0, mz = 0;
       for (uint32_t q = 0; q < kQ; ++q) {
-        const float fv = sys.load_f32(cur + (q * cells + c) * sizeof(float));
+        const float fv = sys.load_f32(cur, (q * cells + c) * sizeof(float));
         rho += fv;
         mx += fv * kCx[q];
         my += fv * kCy[q];
@@ -63,9 +63,9 @@ class Lbm3dWorkload final : public Workload {
       }
       sys.ops(10);
       const float inv = rho > 1e-6f ? 1.0f / rho : 0.0f;
-      sys.store_f32(out_ + (c * 3 + 0) * sizeof(float), mx * inv);
-      sys.store_f32(out_ + (c * 3 + 1) * sizeof(float), my * inv);
-      sys.store_f32(out_ + (c * 3 + 2) * sizeof(float), mz * inv);
+      sys.store_f32(out_, (c * 3 + 0) * sizeof(float), mx * inv);
+      sys.store_f32(out_, (c * 3 + 1) * sizeof(float), my * inv);
+      sys.store_f32(out_, (c * 3 + 2) * sizeof(float), mz * inv);
     }
   }
 
@@ -77,9 +77,9 @@ class Lbm3dWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(cells);
     for (uint64_t c = 0; c < cells; ++c) {
-      const double vx = sys.peek_f32(out_ + (c * 3 + 0) * sizeof(float));
-      const double vy = sys.peek_f32(out_ + (c * 3 + 1) * sizeof(float));
-      const double vz = sys.peek_f32(out_ + (c * 3 + 2) * sizeof(float));
+      const double vx = sys.peek_f32(out_, (c * 3 + 0) * sizeof(float));
+      const double vy = sys.peek_f32(out_, (c * 3 + 1) * sizeof(float));
+      const double vz = sys.peek_f32(out_, (c * 3 + 2) * sizeof(float));
       out.push_back(std::sqrt(vx * vx + vy * vy + vz * vz));
     }
     return out;
@@ -104,21 +104,22 @@ class Lbm3dWorkload final : public Workload {
     return w * rho * (1.0f + cu + 0.5f * cu * cu - usq);
   }
 
-  void step(System& sys, uint64_t cur, uint64_t nxt, uint64_t cells) {
+  void step(System& sys, const RegionHandle& cur, const RegionHandle& nxt,
+            uint64_t cells) {
     for (uint32_t z = 0; z < kN; ++z)
       for (uint32_t y = 0; y < kN; ++y)
         for (uint32_t x = 0; x < kN; ++x) {
           const uint64_t c = cell(x, y, z);
           if (obstacle_[c]) {
             for (uint32_t q = 0; q < kQ; ++q)
-              sys.store_f32(nxt + (q * cells + c) * sizeof(float),
-                            sys.load_f32(cur + (kOpp[q] * cells + c) * sizeof(float)));
+              sys.store_f32(nxt, (q * cells + c) * sizeof(float),
+                            sys.load_f32(cur, (kOpp[q] * cells + c) * sizeof(float)));
             continue;
           }
           float rho = 0, mx = 0, my = 0, mz = 0;
           std::array<float, kQ> fv;
           for (uint32_t q = 0; q < kQ; ++q) {
-            fv[q] = sys.load_f32(cur + (q * cells + c) * sizeof(float));
+            fv[q] = sys.load_f32(cur, (q * cells + c) * sizeof(float));
             rho += fv[q];
             mx += fv[q] * kCx[q];
             my += fv[q] * kCy[q];
@@ -137,12 +138,12 @@ class Lbm3dWorkload final : public Workload {
             const uint32_t xx = (x + kN + kCx[q]) % kN;
             const uint32_t yy = (y + kN + kCy[q]) % kN;
             const uint32_t zz = (z + kN + kCz[q]) % kN;
-            sys.store_f32(nxt + (q * cells + cell(xx, yy, zz)) * sizeof(float), post);
+            sys.store_f32(nxt, (q * cells + cell(xx, yy, zz)) * sizeof(float), post);
           }
         }
   }
 
-  uint64_t f_ = 0, g_ = 0, out_ = 0;
+  RegionHandle f_, g_, out_;
   std::vector<uint8_t> obstacle_;
 };
 

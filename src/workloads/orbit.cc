@@ -29,14 +29,14 @@ class OrbitWorkload final : public Workload {
     const uint64_t n = uint64_t{kSteps} * sizeof(float);
     // Trajectory history, one series per coordinate (SoA): approximable.
     for (int c = 0; c < 6; ++c)
-      pos_[c] = sys.alloc("orbit.pos" + std::to_string(c), n, /*approx=*/true);
+      pos_[c] = sys.alloc_region("orbit.pos" + std::to_string(c), n, /*approx=*/true);
     for (int c = 0; c < 6; ++c)
-      vel_[c] = sys.alloc("orbit.vel" + std::to_string(c), n, /*approx=*/true);
+      vel_[c] = sys.alloc_region("orbit.vel" + std::to_string(c), n, /*approx=*/true);
     // Analysis buffers: exact (program output).
     const uint64_t samples = kSteps / kSample;
-    sep_ = sys.alloc("orbit.sep", samples * sizeof(float), false);
-    energy_ = sys.alloc("orbit.energy", samples * sizeof(float), false);
-    angmom_ = sys.alloc("orbit.angmom", samples * sizeof(float), false);
+    sep_ = sys.alloc_region("orbit.sep", samples * sizeof(float), false);
+    energy_ = sys.alloc_region("orbit.energy", samples * sizeof(float), false);
+    angmom_ = sys.alloc_region("orbit.angmom", samples * sizeof(float), false);
 
     // Leapfrog integration of a mildly eccentric orbit (G*m = 1).
     double p1[3] = {1.0, 0.0, 0.05}, p2[3] = {-1.0, 0.0, -0.05};
@@ -45,10 +45,10 @@ class OrbitWorkload final : public Workload {
       integrate(p1, p2, v1, v2);
       sys.ops(60);
       for (int c = 0; c < 3; ++c) {
-        sys.store_f32(pos_[c] + s * 4ull, static_cast<float>(p1[c]));
-        sys.store_f32(pos_[c + 3] + s * 4ull, static_cast<float>(p2[c]));
-        sys.store_f32(vel_[c] + s * 4ull, static_cast<float>(v1[c]));
-        sys.store_f32(vel_[c + 3] + s * 4ull, static_cast<float>(v2[c]));
+        sys.store_f32(pos_[c], s * 4ull, static_cast<float>(p1[c]));
+        sys.store_f32(pos_[c + 3], s * 4ull, static_cast<float>(p2[c]));
+        sys.store_f32(vel_[c], s * 4ull, static_cast<float>(v1[c]));
+        sys.store_f32(vel_[c + 3], s * 4ull, static_cast<float>(v2[c]));
       }
     }
 
@@ -56,10 +56,10 @@ class OrbitWorkload final : public Workload {
     for (uint32_t s = 0; s < kSteps; s += kSample) {
       float q1[3], q2[3], w1[3], w2[3];
       for (int c = 0; c < 3; ++c) {
-        q1[c] = sys.load_f32(pos_[c] + s * 4ull);
-        q2[c] = sys.load_f32(pos_[c + 3] + s * 4ull);
-        w1[c] = sys.load_f32(vel_[c] + s * 4ull);
-        w2[c] = sys.load_f32(vel_[c + 3] + s * 4ull);
+        q1[c] = sys.load_f32(pos_[c], s * 4ull);
+        q2[c] = sys.load_f32(pos_[c + 3], s * 4ull);
+        w1[c] = sys.load_f32(vel_[c], s * 4ull);
+        w2[c] = sys.load_f32(vel_[c + 3], s * 4ull);
       }
       const float dx = q1[0] - q2[0], dy = q1[1] - q2[1], dz = q1[2] - q2[2];
       const float r = std::sqrt(dx * dx + dy * dy + dz * dz);
@@ -68,9 +68,9 @@ class OrbitWorkload final : public Workload {
       const float lz = q1[0] * w1[1] - q1[1] * w1[0] + q2[0] * w2[1] - q2[1] * w2[0];
       sys.ops(40);
       const uint64_t i = s / kSample;
-      sys.store_f32(sep_ + i * 4ull, r);
-      sys.store_f32(energy_ + i * 4ull, ke + pe);
-      sys.store_f32(angmom_ + i * 4ull, lz);
+      sys.store_f32(sep_, i * 4ull, r);
+      sys.store_f32(energy_, i * 4ull, ke + pe);
+      sys.store_f32(angmom_, i * 4ull, lz);
     }
   }
 
@@ -79,9 +79,9 @@ class OrbitWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(samples * 3);
     for (uint64_t i = 0; i < samples; ++i) {
-      out.push_back(sys.peek_f32(sep_ + i * 4ull));
-      out.push_back(sys.peek_f32(energy_ + i * 4ull));
-      out.push_back(sys.peek_f32(angmom_ + i * 4ull));
+      out.push_back(sys.peek_f32(sep_, i * 4ull));
+      out.push_back(sys.peek_f32(energy_, i * 4ull));
+      out.push_back(sys.peek_f32(angmom_, i * 4ull));
     }
     return out;
   }
@@ -106,8 +106,8 @@ class OrbitWorkload final : public Workload {
     }
   }
 
-  uint64_t pos_[6] = {}, vel_[6] = {};
-  uint64_t sep_ = 0, energy_ = 0, angmom_ = 0;
+  RegionHandle pos_[6], vel_[6];
+  RegionHandle sep_, energy_, angmom_;
 };
 
 }  // namespace

@@ -28,14 +28,14 @@ class WrfWorkload final : public Workload {
     const uint64_t n = uint64_t{kNx} * kNy * sizeof(float);
     // Approximable geo metrics: surface temperature + humidity (2 of 7
     // fields ~ 15 % once scratch is counted, matching Table 2).
-    temp_ = sys.alloc("wrf.temp", n, /*approx=*/true);
-    humid_ = sys.alloc("wrf.humid", n, /*approx=*/true);
+    temp_ = sys.alloc_region("wrf.temp", n, /*approx=*/true);
+    humid_ = sys.alloc_region("wrf.humid", n, /*approx=*/true);
     // Exact prognostic/auxiliary state.
-    press_ = sys.alloc("wrf.press", n, false);
-    wind_u_ = sys.alloc("wrf.wind_u", n, false);
-    wind_v_ = sys.alloc("wrf.wind_v", n, false);
-    terrain_ = sys.alloc("wrf.terrain", n, false);
-    scratch_ = sys.alloc("wrf.scratch", 5 * n, false);  // model working set
+    press_ = sys.alloc_region("wrf.press", n, false);
+    wind_u_ = sys.alloc_region("wrf.wind_u", n, false);
+    wind_v_ = sys.alloc_region("wrf.wind_v", n, false);
+    terrain_ = sys.alloc_region("wrf.terrain", n, false);
+    scratch_ = sys.alloc_region("wrf.scratch", 5 * n, false);  // model working set
 
     init_fields(sys);
 
@@ -46,13 +46,13 @@ class WrfWorkload final : public Workload {
     std::vector<double> out;
     out.reserve(uint64_t{kNx} * kNy);
     for (uint64_t i = 0; i < uint64_t{kNx} * kNy; ++i)
-      out.push_back(sys.peek_f32(temp_ + i * sizeof(float)));
+      out.push_back(sys.peek_f32(temp_, i * sizeof(float)));
     return out;
   }
 
  private:
-  uint64_t at(uint64_t base, uint32_t x, uint32_t y) const {
-    return base + (uint64_t{y} * kNx + x) * sizeof(float);
+  uint64_t at(uint32_t x, uint32_t y) const {
+    return (uint64_t{y} * kNx + x) * sizeof(float);
   }
 
   /// Terrain: 2D value-noise fBm (rough). Temperature/humidity follow the
@@ -85,21 +85,21 @@ class WrfWorkload final : public Workload {
           freq *= 2.7f;
         }
         const float elev = std::max(0.0f, 500.0f + h);
-        sys.store_f32(at(terrain_, x, y), elev);
+        sys.store_f32(terrain_, at(x, y), elev);
         // Temperature in Celsius: 6.5 K/km lapse rate + synoptic gradient +
         // strong local roughness (surface heterogeneity). This value scale
         // is what limits wrf to the paper's modest 3.4x compression.
         const float t =
             18.0f - 0.0065f * elev + 4.0f * std::sin(0.013f * x) +
             0.8f * static_cast<float>(rng.uniform(-1.0, 1.0));
-        sys.store_f32(at(temp_, x, y), t);
-        sys.store_f32(at(humid_, x, y),
+        sys.store_f32(temp_, at(x, y), t);
+        sys.store_f32(humid_, at(x, y),
                       std::clamp(0.7f - elev / 4000.0f +
                                      0.04f * static_cast<float>(rng.uniform(-1.0, 1.0)),
                                  0.05f, 1.0f));
-        sys.store_f32(at(press_, x, y), 1013.0f * std::exp(-elev / 8400.0f));
-        sys.store_f32(at(wind_u_, x, y), 3.0f + 0.5f * std::sin(0.02f * y));
-        sys.store_f32(at(wind_v_, x, y), 1.0f);
+        sys.store_f32(press_, at(x, y), 1013.0f * std::exp(-elev / 8400.0f));
+        sys.store_f32(wind_u_, at(x, y), 3.0f + 0.5f * std::sin(0.02f * y));
+        sys.store_f32(wind_v_, at(x, y), 1.0f);
       }
   }
 
@@ -108,27 +108,26 @@ class WrfWorkload final : public Workload {
     // the wind field, with pressure coupling; interior points only.
     for (uint32_t y = 1; y + 1 < kNy; ++y)
       for (uint32_t x = 1; x + 1 < kNx; ++x) {
-        const float u = sys.load_f32(at(wind_u_, x, y));
-        const float v = sys.load_f32(at(wind_v_, x, y));
-        const float t = sys.load_f32(at(temp_, x, y));
-        const float tl = sys.load_f32(at(temp_, x - 1, y));
-        const float tr = sys.load_f32(at(temp_, x + 1, y));
-        const float tu = sys.load_f32(at(temp_, x, y - 1));
-        const float td = sys.load_f32(at(temp_, x, y + 1));
-        const float h = sys.load_f32(at(humid_, x, y));
-        const float p = sys.load_f32(at(press_, x, y));
+        const float u = sys.load_f32(wind_u_, at(x, y));
+        const float v = sys.load_f32(wind_v_, at(x, y));
+        const float t = sys.load_f32(temp_, at(x, y));
+        const float tl = sys.load_f32(temp_, at(x - 1, y));
+        const float tr = sys.load_f32(temp_, at(x + 1, y));
+        const float tu = sys.load_f32(temp_, at(x, y - 1));
+        const float td = sys.load_f32(temp_, at(x, y + 1));
+        const float h = sys.load_f32(humid_, at(x, y));
+        const float p = sys.load_f32(press_, at(x, y));
         const float adv = -0.02f * (u * (tr - tl) + v * (td - tu));
         const float diff = 0.05f * (tl + tr + tu + td - 4 * t);
         const float latent = 0.3f * h * std::max(0.0f, t - 10.0f) * 0.01f;
         sys.ops(30);
-        sys.store_f32(at(temp_, x, y), t + adv + diff + latent * (p / 1013.0f));
-        sys.store_f32(at(humid_, x, y),
+        sys.store_f32(temp_, at(x, y), t + adv + diff + latent * (p / 1013.0f));
+        sys.store_f32(humid_, at(x, y),
                       std::clamp(h - 0.002f * latent + 0.0005f * diff, 0.0f, 1.0f));
       }
   }
 
-  uint64_t temp_ = 0, humid_ = 0, press_ = 0, wind_u_ = 0, wind_v_ = 0,
-           terrain_ = 0, scratch_ = 0;
+  RegionHandle temp_, humid_, press_, wind_u_, wind_v_, terrain_, scratch_;
 };
 
 }  // namespace

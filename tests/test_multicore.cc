@@ -43,6 +43,22 @@ TEST(Multicore, SharedLlcServesBothCores) {
   EXPECT_GE(m.cycles, std::max(sys.core(0).cycles(), sys.core(1).cycles()));
 }
 
+TEST(Multicore, OpsChargeTheActiveCore) {
+  // Explicit ops() bill to the core selected by use_core(), exactly like
+  // the accesses they surround (ops() used to charge core 0 always).
+  System sys(Design::kBaseline, cfg(), /*num_cores=*/2);
+  const uint64_t a = sys.alloc("x", kBlockBytes, false);
+  sys.use_core(1);
+  sys.ops(100);
+  sys.load_f32(a);
+  EXPECT_EQ(sys.core(0).instructions(), 0u);
+  EXPECT_EQ(sys.core(1).instructions(), 100u + 1u + cfg().ops_per_access);
+  sys.use_core(0);
+  sys.ops(7);
+  EXPECT_EQ(sys.core(0).instructions(), 7u);
+  EXPECT_EQ(sys.core(1).instructions(), 100u + 1u + cfg().ops_per_access);
+}
+
 TEST(Multicore, UseCoreOutOfRangeFallsBackToZero) {
   System sys(Design::kBaseline, cfg(), 2);
   const uint64_t a = sys.alloc("x", kBlockBytes, false);

@@ -70,6 +70,65 @@ TEST(SweepShard, SlicesPartitionTheGrid) {
   }
 }
 
+TEST(SweepShard, VariantGridIsT1MajorAndDefaultsToPlainGrid) {
+  const auto grid = sweep::full_variant_grid({4, 6}, {"a", "b"},
+                                             {Design::kBaseline, Design::kAvr});
+  ASSERT_EQ(grid.size(), 8u);
+  EXPECT_EQ(grid[0], (sweep::VariantPoint{4, {"a", Design::kBaseline}}));
+  EXPECT_EQ(grid[3], (sweep::VariantPoint{4, {"b", Design::kAvr}}));
+  EXPECT_EQ(grid[4], (sweep::VariantPoint{6, {"a", Design::kBaseline}}));
+  EXPECT_EQ(grid[7], (sweep::VariantPoint{6, {"b", Design::kAvr}}));
+
+  // The default axis {-1} reproduces the historical grid point-for-point.
+  const auto plain = sweep::full_grid(workload_names(),
+                                      ExperimentRunner::paper_designs());
+  const auto variant = sweep::full_variant_grid({-1}, workload_names(),
+                                                ExperimentRunner::paper_designs());
+  ASSERT_EQ(variant.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(variant[i].t1, -1);
+    EXPECT_EQ(variant[i].point, plain[i]);
+  }
+}
+
+TEST(SweepShard, VariantSlicesPartitionTheGrid) {
+  const auto grid = sweep::full_variant_grid(
+      {4, 6, 8}, workload_names(), ExperimentRunner::paper_designs());
+  ASSERT_EQ(grid.size(), 105u);
+  for (unsigned n : {1u, 3u, 7u, 105u}) {
+    std::multiset<sweep::VariantPoint> merged;
+    size_t total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const auto slice = sweep::shard_slice(grid, {i, n});
+      total += slice.size();
+      merged.insert(slice.begin(), slice.end());
+      EXPECT_LE(slice.size(), (grid.size() + n - 1) / n);
+    }
+    EXPECT_EQ(total, grid.size()) << "N=" << n;
+    EXPECT_EQ(merged,
+              std::multiset<sweep::VariantPoint>(grid.begin(), grid.end()));
+  }
+}
+
+TEST(SweepShard, VariantConfigsHaveDistinctFingerprints) {
+  // t1 == -1 must be THE default config (so existing caches keep working);
+  // each forced threshold is a distinct cache key.
+  EXPECT_EQ(config_fingerprint(sweep::variant_config(-1)),
+            config_fingerprint(SimConfig{}));
+  std::set<uint64_t> fps;
+  for (int t1 : {-1, 0, 4, 6, 8, 22})
+    fps.insert(config_fingerprint(sweep::variant_config(t1)));
+  EXPECT_EQ(fps.size(), 6u);
+}
+
+TEST(SweepShard, ParseT1List) {
+  EXPECT_EQ(sweep::parse_t1_list(""), (std::vector<int>{-1}));
+  EXPECT_EQ(sweep::parse_t1_list("4"), (std::vector<int>{4}));
+  EXPECT_EQ(sweep::parse_t1_list("4,6,8"), (std::vector<int>{4, 6, 8}));
+  for (const char* bad : {"x", "-1", "23", "4.5"})
+    EXPECT_THROW(sweep::parse_t1_list(bad), std::invalid_argument) << bad;
+}
+
 TEST(SweepShard, DesignAndWorkloadListParsing) {
   EXPECT_EQ(sweep::design_from_name("AVR"), Design::kAvr);
   EXPECT_EQ(sweep::design_from_name("avr"), Design::kAvr);
@@ -151,6 +210,52 @@ TEST(SweepShard, ThreeShardProcessesMatchSingleProcessSweep) {
     EXPECT_EQ(encode_result_line(got), encode_result_line(want))
         << w << " x " << to_string(d);
   }
+  std::remove(cache.c_str());
+}
+
+TEST(SweepShard, T1VariantShardsCoexistInOneCache) {
+  const std::string bin = sweep_binary();
+  if (bin.empty()) GTEST_SKIP() << "AVR_SWEEP_BIN not set";
+
+  const std::string cache =
+      (std::filesystem::temp_directory_path() /
+       ("avr_t1_e2e_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  std::remove(cache.c_str());
+
+  // Two --t1 variants of one cheap AVR point, split across two concurrent
+  // shard processes appending to ONE cache file.
+  std::vector<pid_t> pids;
+  for (int i = 0; i < 2; ++i)
+    pids.push_back(spawn_sweep({bin, "--shard", std::to_string(i) + "/2",
+                                "--t1", "4,6", "--workloads", "bscholes",
+                                "--designs", "AVR", "--cache", cache, "--jobs",
+                                "1", "--quiet"}));
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // Each variant's record is keyed by its own config fingerprint, and both
+  // match an in-process runner simulating under the same forced threshold.
+  for (int t1 : {4, 6}) {
+    const auto records =
+        load_result_cache(cache, config_fingerprint(sweep::variant_config(t1)));
+    ASSERT_EQ(records.size(), 1u) << "t1=" << t1;
+    ASSERT_TRUE(records.count({"bscholes", Design::kAvr}));
+    ExperimentRunner runner(sweep::variant_config(t1), /*verbose=*/false,
+                            /*cache_path=*/"");
+    ExperimentResult got = records.at({"bscholes", Design::kAvr});
+    ExperimentResult want = runner.run("bscholes", Design::kAvr);
+    got.wall_seconds = 0;
+    want.wall_seconds = 0;
+    EXPECT_EQ(encode_result_line(got), encode_result_line(want)) << "t1=" << t1;
+  }
+  // The default-config grid must see none of the variant records.
+  EXPECT_TRUE(
+      load_result_cache(cache, config_fingerprint(SimConfig{})).empty());
   std::remove(cache.c_str());
 }
 
