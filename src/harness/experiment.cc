@@ -147,11 +147,22 @@ double ExperimentRunner::cost_estimate(const std::string& wl, Design d) {
   if (auto it = seed_costs_.find({wl, d}); it != seed_costs_.end())
     return it->second;
   uint64_t footprint = 64 * 1024;
+  uint64_t accesses = 0;
   try {
-    footprint = make_workload(wl)->llc_bytes();
+    auto w = make_workload(wl);
+    footprint = w->llc_bytes();
+    accesses = w->access_estimate();
   } catch (const std::exception&) {
     // Unknown workload: keep the default; run() will surface the error.
   }
+  // Replayed workloads declare their access count up front, and their cost
+  // scales with records, not footprint: ~2e6 replayed accesses per second
+  // on the baseline design (measured on the bundled data/traces/ set after
+  // the PR-5 fast path; dominated by per-point System construction for
+  // short traces, hence the floor).
+  if (accesses > 0)
+    return std::max(0.02, static_cast<double>(accesses) *
+                              design_cost_factor(d) / 2e6);
   // ~5e5 footprint-bytes per simulated second (median fit from the default
   // sweep re-measured after the PR-5 access-chain fast path).
   return static_cast<double>(footprint) * design_cost_factor(d) / 5e5;

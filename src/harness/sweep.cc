@@ -136,8 +136,13 @@ std::vector<std::string> parse_workload_list(const std::string& csv) {
   const auto known = workload_names();
   std::vector<std::string> out;
   for (const auto& name : split_csv(csv)) {
-    if (std::find(known.begin(), known.end(), name) == known.end())
-      throw std::invalid_argument("unknown workload: " + name);
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      // Not a built-in kernel: either a trace spec or a typo. Constructing
+      // it is the validation — make_workload loads and checks a trace file
+      // eagerly and throws a diagnosable std::invalid_argument for both
+      // cases, so a bad point fails at --list/startup, never mid-sweep.
+      (void)make_workload(name);
+    }
     out.push_back(name);
   }
   if (out.empty()) throw std::invalid_argument("empty workload list");

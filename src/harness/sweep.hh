@@ -76,8 +76,10 @@ Design design_from_name(const std::string& name);
 /// Comma-separated design names; "" yields ExperimentRunner::paper_designs().
 std::vector<Design> parse_design_list(const std::string& csv);
 
-/// Comma-separated workload names, validated against the registry; "" yields
-/// workload_names(). Throws std::invalid_argument for unknown names.
+/// Comma-separated workload names — built-in kernels and/or trace specs
+/// ("trace:<path>", whose file is loaded and validated here, eagerly); ""
+/// yields workload_names(). Throws std::invalid_argument for unknown names
+/// and for missing/corrupt trace files.
 std::vector<std::string> parse_workload_list(const std::string& csv);
 
 }  // namespace sweep

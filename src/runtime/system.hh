@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -130,6 +131,18 @@ class System {
   void finish();
   RunMetrics metrics() const;
 
+  /// Capture hook: observes every instrumented access (simulated address +
+  /// direction) before it is charged — how avr_trace_gen re-records an
+  /// existing workload into a replayable trace. Fires on functional
+  /// (timing=false) runs too, so capture can skip the simulation machinery
+  /// entirely. Null (the default) costs the hot path one never-taken
+  /// branch; pass nullptr to detach.
+  using AccessHook = std::function<void(uint64_t addr, bool write)>;
+  void set_access_hook(AccessHook h) {
+    hook_fn_ = std::move(h);
+    hook_ = hook_fn_ ? &hook_fn_ : nullptr;
+  }
+
   // ---- component access (tests, benches) ----------------------------------
   RegionRegistry& regions() { return regions_; }
   const RegionRegistry& regions() const { return regions_; }
@@ -141,6 +154,7 @@ class System {
 
  private:
   void touch(uint64_t addr, bool write) {
+    if (hook_) (*hook_)(addr, write);
     // active_core_ptr_ is null exactly when timing is off (no cores built),
     // so one test covers both "functional run" and "nothing to charge".
     if (IntervalCore* c = active_core_ptr_)
@@ -154,6 +168,8 @@ class System {
   uint32_t active_core_ = 0;
   uint64_t ops_per_access_ = 0;        // hoisted from cfg_ for touch()
   IntervalCore* active_core_ptr_ = nullptr;  // hoisted cores_[active_core_]
+  AccessHook hook_fn_;                 // capture storage (set_access_hook)
+  const AccessHook* hook_ = nullptr;   // non-null iff capture is attached
   RegionRegistry regions_;
   std::unique_ptr<LlcSystem> llc_;
   std::unique_ptr<MemoryHierarchy> hier_;

@@ -1,0 +1,309 @@
+#include "trace/trace_format.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace avr {
+namespace trace {
+namespace {
+
+bool fail(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+// ---- little-endian field codec ---------------------------------------------
+// Byte-by-byte shifts: endian-portable and free of alignment/padding UB.
+
+void put_u16(std::string& s, uint16_t v) {
+  s.push_back(static_cast<char>(v & 0xFF));
+  s.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// Bounds-checked read cursor over the loaded file bytes. Every get_* is
+/// total: past-the-end reads return 0 and latch `torn` instead of reading
+/// out of bounds (callers check sizes up front, this is the defense line).
+struct Cursor {
+  const unsigned char* p;
+  size_t size;
+  size_t at = 0;
+  bool torn = false;
+
+  uint8_t get_u8() {
+    if (at + 1 > size) {
+      torn = true;
+      return 0;
+    }
+    return p[at++];
+  }
+  uint16_t get_u16() {
+    uint16_t v = get_u8();
+    return static_cast<uint16_t>(v | (static_cast<uint16_t>(get_u8()) << 8));
+  }
+  uint32_t get_u32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(get_u8()) << (8 * i);
+    return v;
+  }
+  uint64_t get_u64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(get_u8()) << (8 * i);
+    return v;
+  }
+};
+
+bool valid_region_name(const std::string& name) {
+  if (name.empty() || name.size() >= kRegionNameBytes) return false;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    // Printable ASCII, no commas (region names may end up in CSV artifacts)
+    // and no embedded NUL (the on-disk padding byte).
+    if (u < 0x20 || u > 0x7E || c == ',') return false;
+  }
+  return true;
+}
+
+bool validate_regions(const std::vector<TraceRegion>& regions, std::string* error) {
+  if (regions.empty()) return fail(error, "zero regions");
+  if (regions.size() > kMaxRegions)
+    return fail(error, "region count " + std::to_string(regions.size()) +
+                           " exceeds limit " + std::to_string(kMaxRegions));
+  uint64_t footprint = 0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const TraceRegion& r = regions[i];
+    if (!valid_region_name(r.name))
+      return fail(error, "region " + std::to_string(i) +
+                             ": name must be 1..23 printable non-comma chars");
+    if (r.bytes == 0 || r.bytes > kMaxRegionBytes)
+      return fail(error, "region " + r.name + ": bad size " +
+                             std::to_string(r.bytes));
+    // Replay resolves handles by name; a duplicate would silently alias two
+    // table entries onto one allocation.
+    for (size_t j = 0; j < i; ++j)
+      if (regions[j].name == r.name)
+        return fail(error, "duplicate region name '" + r.name + "'");
+    footprint += r.bytes;
+  }
+  if (footprint > kMaxTraceFootprint)
+    return fail(error, "total footprint " + std::to_string(footprint) +
+                           " exceeds limit " + std::to_string(kMaxTraceFootprint));
+  return true;
+}
+
+bool validate_record(const TraceRecord& rec, uint64_t index,
+                     const std::vector<TraceRegion>& regions, std::string* error) {
+  const std::string where = "record " + std::to_string(index) + ": ";
+  if (rec.op != Op::kLoad && rec.op != Op::kStore)
+    return fail(error, where + "bad op " +
+                           std::to_string(static_cast<unsigned>(rec.op)));
+  if (rec.region >= regions.size())
+    return fail(error, where + "region index " + std::to_string(rec.region) +
+                           " out of range (have " +
+                           std::to_string(regions.size()) + ")");
+  if (rec.size < 4 || rec.size % 4 != 0 || rec.size > kMaxRecordSize)
+    return fail(error, where + "bad size " + std::to_string(rec.size));
+  if (rec.offset % 4 != 0)
+    return fail(error, where + "unaligned offset " + std::to_string(rec.offset));
+  const uint64_t region_bytes = regions[rec.region].bytes;
+  // Overflow-safe: size <= kMaxRecordSize and offset is checked first.
+  if (rec.offset > region_bytes || region_bytes - rec.offset < rec.size)
+    return fail(error, where + "offset " + std::to_string(rec.offset) + "+" +
+                           std::to_string(rec.size) + " past region '" +
+                           regions[rec.region].name + "' end (" +
+                           std::to_string(region_bytes) + ")");
+  return true;
+}
+
+/// Header + region table from the front of the file. On success, `cur` is
+/// left positioned at the first record and *record_count is filled.
+bool parse_prefix(Cursor& cur, size_t file_size, std::vector<TraceRegion>* regions,
+                  uint64_t* record_count, std::string* error) {
+  if (file_size < kHeaderBytes)
+    return fail(error, "truncated header: " + std::to_string(file_size) +
+                           " bytes, need " + std::to_string(kHeaderBytes));
+  if (std::memcmp(cur.p, kTraceMagic, sizeof(kTraceMagic)) != 0)
+    return fail(error, "bad magic (not an AVR trace file)");
+  cur.at = sizeof(kTraceMagic);
+  const uint32_t version = cur.get_u32();
+  if (version != kTraceVersion)
+    return fail(error, "unsupported trace version " + std::to_string(version) +
+                           " (reader speaks v" + std::to_string(kTraceVersion) +
+                           ")");
+  const uint32_t region_count = cur.get_u32();
+  *record_count = cur.get_u64();
+  if (region_count == 0) return fail(error, "zero regions");
+  if (region_count > kMaxRegions)
+    return fail(error, "region count " + std::to_string(region_count) +
+                           " exceeds limit " + std::to_string(kMaxRegions));
+  // The exact length the header promises. Anything shorter is torn, anything
+  // longer carries trailing garbage; both are rejected before records parse.
+  const uint64_t expect = kHeaderBytes +
+                          uint64_t{region_count} * kRegionEntryBytes +
+                          *record_count * kRecordBytes;
+  if (file_size != expect)
+    return fail(error, "file is " + std::to_string(file_size) +
+                           " bytes but header promises " + std::to_string(expect) +
+                           " (truncated or torn trace)");
+
+  regions->clear();
+  regions->reserve(region_count);
+  for (uint32_t i = 0; i < region_count; ++i) {
+    char name[kRegionNameBytes];
+    for (size_t b = 0; b < kRegionNameBytes; ++b)
+      name[b] = static_cast<char>(cur.get_u8());
+    if (name[kRegionNameBytes - 1] != '\0')
+      return fail(error, "region " + std::to_string(i) + ": unterminated name");
+    TraceRegion r;
+    r.name = name;  // up to the first NUL
+    // The padding after the NUL must be zero so every v1 file has exactly
+    // one canonical byte representation.
+    for (size_t b = r.name.size(); b < kRegionNameBytes; ++b)
+      if (name[b] != '\0')
+        return fail(error,
+                    "region " + std::to_string(i) + ": nonzero name padding");
+    r.bytes = cur.get_u64();
+    const uint32_t flags = cur.get_u32();
+    if (flags > 1)
+      return fail(error, "region " + r.name + ": unknown flags " +
+                             std::to_string(flags));
+    r.approx = flags & 1;
+    if (cur.get_u32() != 0)
+      return fail(error, "region " + r.name + ": nonzero reserved field");
+    regions->push_back(std::move(r));
+  }
+  if (cur.torn) return fail(error, "truncated region table");
+  return validate_regions(*regions, error);
+}
+
+bool read_file_bytes(const std::string& path, std::string* bytes,
+                     std::string* error, size_t limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return fail(error, "cannot stat " + path);
+  in.seekg(0);
+  const size_t want = std::min<size_t>(static_cast<size_t>(size), limit);
+  bytes->resize(want);
+  if (want > 0 && !in.read(bytes->data(), static_cast<std::streamsize>(want)))
+    return fail(error, "cannot read " + path);
+  return true;
+}
+
+}  // namespace
+
+bool validate_trace(const Trace& t, std::string* error) {
+  if (!validate_regions(t.regions, error)) return false;
+  for (uint64_t i = 0; i < t.records.size(); ++i)
+    if (!validate_record(t.records[i], i, t.regions, error)) return false;
+  return true;
+}
+
+bool write_trace_file(const std::string& path, const Trace& t, std::string* error) {
+  if (!validate_trace(t, error)) return false;
+  std::string s;
+  s.reserve(kHeaderBytes + t.regions.size() * kRegionEntryBytes +
+            t.records.size() * kRecordBytes);
+  s.append(kTraceMagic, sizeof(kTraceMagic));
+  put_u32(s, kTraceVersion);
+  put_u32(s, static_cast<uint32_t>(t.regions.size()));
+  put_u64(s, t.records.size());
+  for (const TraceRegion& r : t.regions) {
+    s.append(r.name);
+    s.append(kRegionNameBytes - r.name.size(), '\0');
+    put_u64(s, r.bytes);
+    put_u32(s, r.approx ? 1u : 0u);
+    put_u32(s, 0);
+  }
+  for (const TraceRecord& rec : t.records) {
+    s.push_back(static_cast<char>(rec.op));
+    s.push_back('\0');
+    put_u16(s, rec.region);
+    put_u32(s, rec.size);
+    put_u64(s, rec.offset);
+  }
+  // Write to a sibling temp file and rename into place: a crashed or
+  // disk-full writer must never leave a torn file under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail(error, "cannot create " + tmp);
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return fail(error, "short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(error, "cannot rename " + tmp + " to " + path);
+  }
+  return true;
+}
+
+bool read_trace_file(const std::string& path, Trace* out, std::string* error) {
+  std::string bytes;
+  // No limit beyond the format's own: the exact-length check below bounds
+  // record parsing to what was actually read.
+  if (!read_file_bytes(path, &bytes, error, ~size_t{0})) return false;
+  Cursor cur{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
+
+  Trace t;
+  uint64_t record_count = 0;
+  if (!parse_prefix(cur, bytes.size(), &t.regions, &record_count, error))
+    return false;
+  t.records.reserve(record_count);  // bounded: file_size == expected length
+  for (uint64_t i = 0; i < record_count; ++i) {
+    TraceRecord rec;
+    rec.op = static_cast<Op>(cur.get_u8());
+    const uint8_t reserved = cur.get_u8();
+    rec.region = cur.get_u16();
+    rec.size = cur.get_u32();
+    rec.offset = cur.get_u64();
+    if (reserved != 0)
+      return fail(error, "record " + std::to_string(i) + ": nonzero reserved byte");
+    if (!validate_record(rec, i, t.regions, error)) return false;
+    t.records.push_back(rec);
+  }
+  if (cur.torn) return fail(error, "truncated record stream");
+  *out = std::move(t);
+  return true;
+}
+
+bool probe_trace_file(const std::string& path, TraceInfo* out, std::string* error) {
+  // True file length first (for the exact-size check), then only the prefix
+  // is loaded: probing a multi-GB trace costs its region table, not its
+  // record stream.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.close();
+  if (file_size < 0) return fail(error, "cannot stat " + path);
+
+  std::string bytes;
+  const size_t prefix = kHeaderBytes + size_t{kMaxRegions} * kRegionEntryBytes;
+  if (!read_file_bytes(path, &bytes, error, prefix)) return false;
+  Cursor cur{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
+
+  TraceInfo info;
+  if (!parse_prefix(cur, static_cast<size_t>(file_size), &info.regions,
+                    &info.record_count, error))
+    return false;
+  *out = std::move(info);
+  return true;
+}
+
+}  // namespace trace
+}  // namespace avr

@@ -1,0 +1,58 @@
+#include "trace/trace_replay.hh"
+
+#include <cassert>
+
+#include "runtime/system.hh"
+
+namespace avr {
+namespace trace {
+
+void replay(System& sys, const Trace& t, const std::vector<RegionHandle>& handles,
+            ReplayCursor& cur) {
+  assert(handles.size() == t.regions.size());
+  assert(cur.load_sum.size() == t.regions.size());
+  for (const TraceRecord& rec : t.records) {
+    const RegionHandle& h = handles[rec.region];
+    const uint32_t words = rec.size / 4;
+    if (rec.op == Op::kLoad) {
+      double sum = 0;
+      float last = cur.last_loaded[rec.region];
+      for (uint32_t w = 0; w < words; ++w) {
+        last = sys.load_f32(h, rec.offset + uint64_t{w} * 4);
+        sum += last;
+      }
+      cur.load_sum[rec.region] += sum;
+      cur.last_loaded[rec.region] = last;
+      cur.loads += words;
+    } else {
+      // Read-modify-write character: the stored value depends on what the
+      // last load of this region *observed*, so value degradation feeds
+      // forward exactly as in the hand-written kernels.
+      const float base = 0.25f * cur.last_loaded[rec.region];
+      for (uint32_t w = 0; w < words; ++w) {
+        const float jitter =
+            static_cast<float>(cur.rng.uniform(-0.5, 0.5));
+        sys.store_f32(h, rec.offset + uint64_t{w} * 4, base + jitter);
+      }
+      cur.stores += words;
+    }
+    // Surrounding arithmetic of the recorded program (index math, the
+    // mix/damp above), charged like the kernels charge theirs.
+    sys.ops(2 * words);
+  }
+}
+
+void init_region(System& sys, const RegionHandle& h, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  float v = 100.0f + 50.0f * static_cast<float>(rng.uniform());
+  for (uint64_t off = 0; off + 4 <= h.bytes; off += 4) {
+    v += static_cast<float>(rng.uniform(-1.0, 1.0));
+    float out = v;
+    if (rng.uniform() < 0.02)  // sparse spikes -> compressor outliers
+      out += 40.0f * static_cast<float>(rng.uniform(-1.0, 1.0));
+    sys.poke_f32(h, off, out);
+  }
+}
+
+}  // namespace trace
+}  // namespace avr

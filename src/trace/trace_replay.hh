@@ -1,0 +1,51 @@
+// Replay core: drives a recorded access stream through the RegionHandle
+// runtime API. Shared by the `trace:<path>` workload (src/workloads/trace.cc),
+// the replay micro-benches and the tests, so all three exercise the exact
+// same per-record loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hh"
+#include "runtime/region.hh"
+#include "trace/trace_format.hh"
+
+namespace avr {
+
+class System;
+
+namespace trace {
+
+/// Mutable replay state across records. The store-value stream is a
+/// deterministic function of (seed, record order) *and* of the values loads
+/// observe — stores write a damped mix of the region's last-loaded value
+/// plus PRNG jitter — so approximation error propagates through the replay
+/// the way it does through a real read-modify-write kernel, while two
+/// replays of the same trace on the same design stay bit-identical.
+struct ReplayCursor {
+  explicit ReplayCursor(size_t num_regions, uint64_t seed = 0xC0FFEE)
+      : load_sum(num_regions, 0.0), last_loaded(num_regions, 1.0f), rng(seed) {}
+
+  std::vector<double> load_sum;    // per-region sum of values seen by loads
+  std::vector<float> last_loaded;  // per-region most recent loaded value
+  uint64_t loads = 0;              // replayed 4-byte load accesses
+  uint64_t stores = 0;             // replayed 4-byte store accesses
+  Xoshiro256 rng;
+};
+
+/// Replays every record of `t` through `sys`'s instrumented accessors.
+/// `handles[i]` must be the resolved handle for `t.regions[i]` and `t` must
+/// have passed validate_trace (offsets are only Debug-asserted here).
+void replay(System& sys, const Trace& t, const std::vector<RegionHandle>& handles,
+            ReplayCursor& cur);
+
+/// Deterministic compressible fill for a replay region: a bounded random
+/// walk (smooth base, occasional jumps), functionally poked so initialization
+/// adds no simulated traffic — recorded contents behave like pre-existing
+/// memory the trace's first loads miss on. Value character mirrors the
+/// kernels' inputs: mostly smooth (compresses) with outlier spikes.
+void init_region(System& sys, const RegionHandle& h, uint64_t seed);
+
+}  // namespace trace
+}  // namespace avr

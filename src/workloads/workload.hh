@@ -48,11 +48,23 @@ class Workload {
   /// that preserves its paper footprint-to-LLC-share ratio (Table 2), so
   /// capacity pressure — and therefore memory traffic — matches in shape.
   virtual uint64_t llc_bytes() const { return 64 * 1024; }
+
+  /// Instrumented accesses a run will issue, when knowable up front (trace
+  /// replay: the record stream IS the access count). 0 = unknown; the
+  /// scheduler then falls back to the footprint heuristic. Simulation cost
+  /// scales with this, not with footprint, for replayed workloads.
+  virtual uint64_t access_estimate() const { return 0; }
 };
 
-/// Factory. Known names: heat, lattice, lbm, orbit, kmeans, bscholes, wrf.
+/// Factory. Known names: heat, lattice, lbm, orbit, kmeans, bscholes, wrf —
+/// plus "trace:<path>" for any trace file (see workloads/trace.hh). Throws
+/// std::invalid_argument, with a diagnosable message, for unknown names and
+/// for trace specs whose file is missing or fails validation: callers that
+/// enumerate points (avr_sweep --list, startup parsing) surface bad points
+/// before any simulation starts.
 std::unique_ptr<Workload> make_workload(const std::string& name);
-/// All seven, in the paper's order.
+/// The seven built-in kernels, in the paper's order (trace points are
+/// enumerated by the caller, not listed here).
 std::vector<std::string> workload_names();
 
 /// Mean relative error between two output vectors (the paper's quality

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "workloads/trace.hh"
+
 namespace avr {
 
 // Defined one per workload translation unit. Explicit hooks (rather than
@@ -41,14 +43,29 @@ void link_all() {
 }  // namespace
 
 bool register_workload(const std::string& name, WorkloadFactory factory) {
-  registry()[name] = std::move(factory);
+  // A duplicate registration would silently shadow an existing workload —
+  // the registry's one silent-success path; refuse it loudly instead.
+  auto [it, inserted] = registry().emplace(name, std::move(factory));
+  if (!inserted)
+    throw std::logic_error("workload '" + name + "' registered twice");
   return true;
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name) {
+  // "trace:<path>" dispatches to the trace frontend, which validates the
+  // file eagerly — a bad path/file throws HERE, not at replay time.
+  if (is_trace_workload_name(name)) return make_trace_workload_from_spec(name);
   link_all();
   auto it = registry().find(name);
-  if (it == registry().end()) throw std::invalid_argument("unknown workload: " + name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& n : workload_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown workload: " + name + " (known: " +
+                                known + ", or trace:<path>)");
+  }
   return it->second();
 }
 

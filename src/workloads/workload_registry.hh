@@ -13,6 +13,8 @@ namespace avr {
 using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
 
 /// Registers `factory` under `name`; returns true (for static-init idiom).
+/// Throws std::logic_error if `name` is already registered — a duplicate
+/// would otherwise silently shadow the earlier workload.
 bool register_workload(const std::string& name, WorkloadFactory factory);
 
 }  // namespace avr

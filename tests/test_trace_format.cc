@@ -1,0 +1,329 @@
+// Trace format v1 wall: round-trip fidelity plus an adversarial corpus.
+// Replay consumes untrusted bytes from disk, so every malformed input —
+// truncated, torn, foreign, out-of-range, oversized — must fail by clean
+// error return (never by crash or UB; this suite runs under the ASan/UBSan
+// CI lane).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_format.hh"
+#include "trace/trace_gen.hh"
+
+namespace avr {
+namespace trace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "trace_format_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Exactly 2 regions (chase emits one per p.regions — mixed would add its
+// own sub-trace split), so the byte-surgery offsets below are stable.
+Trace small_trace() {
+  GenParams p;
+  p.records = 64;
+  p.regions = 2;
+  p.region_bytes = 4096;
+  p.seed = 3;
+  return make_chase_trace(p);
+}
+
+/// Valid serialized bytes of small_trace(), for bit-surgery.
+std::string valid_bytes() {
+  const std::string path = temp_path("valid.trace");
+  std::string err;
+  EXPECT_TRUE(write_trace_file(path, small_trace(), &err)) << err;
+  return slurp(path);
+}
+
+/// The reader must reject `bytes` by clean error return.
+void expect_reader_rejects(const std::string& bytes, const std::string& why) {
+  const std::string path = temp_path("bad.trace");
+  spit(path, bytes);
+  Trace t;
+  std::string read_err;
+  EXPECT_FALSE(read_trace_file(path, &t, &read_err)) << why;
+  EXPECT_FALSE(read_err.empty()) << why;
+}
+
+/// Both entry points must reject `bytes`: corruption in the header/region
+/// prefix or the byte-length contract, which probe validates too. (Record
+/// *payload* corruption is reader-only — probe never parses records — so
+/// those cases use expect_reader_rejects.)
+void expect_rejected(const std::string& bytes, const std::string& why) {
+  expect_reader_rejects(bytes, why);
+  const std::string path = temp_path("bad.trace");
+  spit(path, bytes);
+  TraceInfo info;
+  std::string probe_err;
+  EXPECT_FALSE(probe_trace_file(path, &info, &probe_err)) << why;
+  EXPECT_FALSE(probe_err.empty()) << why;
+}
+
+// ---- round trip ------------------------------------------------------------
+
+TEST(TraceFormat, RoundTripIsBitIdentical) {
+  for (const char* pattern : {"chase", "zipf", "walk", "mixed"}) {
+    GenParams p;
+    p.records = 500;
+    p.regions = 3;
+    p.region_bytes = 8192;
+    p.seed = 17;
+    const Trace t = make_synthetic_trace(pattern, p);
+    const std::string path = temp_path(std::string(pattern) + ".trace");
+    std::string err;
+    ASSERT_TRUE(write_trace_file(path, t, &err)) << pattern << ": " << err;
+
+    Trace back;
+    ASSERT_TRUE(read_trace_file(path, &back, &err)) << pattern << ": " << err;
+    ASSERT_EQ(back.regions.size(), t.regions.size());
+    for (size_t i = 0; i < t.regions.size(); ++i) {
+      EXPECT_EQ(back.regions[i].name, t.regions[i].name);
+      EXPECT_EQ(back.regions[i].bytes, t.regions[i].bytes);
+      EXPECT_EQ(back.regions[i].approx, t.regions[i].approx);
+    }
+    ASSERT_EQ(back.records.size(), t.records.size()) << pattern;
+    for (size_t i = 0; i < t.records.size(); ++i) {
+      EXPECT_EQ(back.records[i].op, t.records[i].op) << i;
+      EXPECT_EQ(back.records[i].region, t.records[i].region) << i;
+      EXPECT_EQ(back.records[i].size, t.records[i].size) << i;
+      EXPECT_EQ(back.records[i].offset, t.records[i].offset) << i;
+    }
+    EXPECT_EQ(back.access_count(), t.access_count());
+    EXPECT_EQ(back.footprint_bytes(), t.footprint_bytes());
+  }
+}
+
+TEST(TraceFormat, WriterProducesCanonicalLength) {
+  const Trace t = small_trace();
+  const std::string bytes = valid_bytes();
+  EXPECT_EQ(bytes.size(), kHeaderBytes + t.regions.size() * kRegionEntryBytes +
+                              t.records.size() * kRecordBytes);
+}
+
+TEST(TraceFormat, ProbeReportsRegionsAndCount) {
+  const Trace t = small_trace();
+  const std::string path = temp_path("probe.trace");
+  std::string err;
+  ASSERT_TRUE(write_trace_file(path, t, &err)) << err;
+  TraceInfo info;
+  ASSERT_TRUE(probe_trace_file(path, &info, &err)) << err;
+  EXPECT_EQ(info.record_count, t.records.size());
+  ASSERT_EQ(info.regions.size(), t.regions.size());
+  EXPECT_EQ(info.regions[0].name, t.regions[0].name);
+}
+
+// ---- adversarial corpus ----------------------------------------------------
+
+TEST(TraceFormat, RejectsMissingAndEmptyFiles) {
+  Trace t;
+  std::string err;
+  EXPECT_FALSE(read_trace_file(temp_path("nonexistent.trace"), &t, &err));
+  EXPECT_FALSE(err.empty());
+  expect_rejected("", "empty file");
+}
+
+TEST(TraceFormat, RejectsTruncatedHeader) {
+  const std::string bytes = valid_bytes();
+  expect_rejected(bytes.substr(0, 10), "mid-header cut");
+  expect_rejected(bytes.substr(0, kHeaderBytes - 1), "one byte short of header");
+}
+
+TEST(TraceFormat, RejectsTruncatedRegionTable) {
+  const std::string bytes = valid_bytes();
+  expect_rejected(bytes.substr(0, kHeaderBytes + kRegionEntryBytes / 2),
+                  "mid-region cut");
+}
+
+TEST(TraceFormat, RejectsTornFinalRecord) {
+  const std::string bytes = valid_bytes();
+  expect_rejected(bytes.substr(0, bytes.size() - 1), "last byte missing");
+  expect_rejected(bytes.substr(0, bytes.size() - kRecordBytes + 3),
+                  "record cut after 3 bytes");
+}
+
+TEST(TraceFormat, RejectsTrailingGarbage) {
+  expect_rejected(valid_bytes() + "extra", "bytes past the promised length");
+}
+
+TEST(TraceFormat, RejectsWrongMagicAndVersion) {
+  std::string bytes = valid_bytes();
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  expect_rejected(bad_magic, "wrong magic");
+
+  std::string bad_version = bytes;
+  bad_version[8] = 9;  // u32 version little-endian low byte
+  expect_rejected(bad_version, "foreign version");
+
+  const std::string path = temp_path("badver.trace");
+  spit(path, bad_version);
+  Trace t;
+  std::string err;
+  ASSERT_FALSE(read_trace_file(path, &t, &err));
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsZeroRegionFile) {
+  std::string bytes = valid_bytes();
+  bytes[12] = bytes[13] = bytes[14] = bytes[15] = 0;  // region_count = 0
+  expect_rejected(bytes, "zero regions");
+}
+
+TEST(TraceFormat, RejectsAbsurdRegionCount) {
+  std::string bytes = valid_bytes();
+  bytes[12] = static_cast<char>(0xFF);  // region_count = huge
+  bytes[13] = static_cast<char>(0xFF);
+  bytes[14] = static_cast<char>(0xFF);
+  bytes[15] = static_cast<char>(0x7F);
+  expect_rejected(bytes, "region count beyond limit");
+}
+
+TEST(TraceFormat, RejectsRecordCountMismatch) {
+  std::string bytes = valid_bytes();
+  bytes[16] = static_cast<char>(bytes[16] + 1);  // record_count += 1, no bytes
+  expect_rejected(bytes, "count promises more records than the file holds");
+}
+
+// Byte offsets of the first record's fields (header + 2 region entries).
+constexpr size_t kRec0 = kHeaderBytes + 2 * kRegionEntryBytes;
+
+TEST(TraceFormat, RejectsRegionIndexOutOfRange) {
+  std::string bytes = valid_bytes();
+  bytes[kRec0 + 2] = static_cast<char>(0xFF);  // u16 region index
+  bytes[kRec0 + 3] = static_cast<char>(0xFF);
+  const std::string path = temp_path("oor.trace");
+  spit(path, bytes);
+  Trace t;
+  std::string err;
+  ASSERT_FALSE(read_trace_file(path, &t, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsOffsetPastRegionEnd) {
+  std::string bytes = valid_bytes();
+  for (size_t b = 0; b < 8; ++b)
+    bytes[kRec0 + 8 + b] = static_cast<char>(0xF4);  // u64 offset = huge, 4-aligned
+  const std::string path = temp_path("pastend.trace");
+  spit(path, bytes);
+  Trace t;
+  std::string err;
+  ASSERT_FALSE(read_trace_file(path, &t, &err));
+  EXPECT_NE(err.find("past region"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsBadOpSizeAlignmentAndReservedBytes) {
+  const std::string base = valid_bytes();
+  {
+    std::string bytes = base;
+    bytes[kRec0] = 7;  // op
+    expect_reader_rejects(bytes, "unknown op");
+  }
+  {
+    std::string bytes = base;
+    bytes[kRec0 + 1] = 1;  // reserved byte
+    expect_reader_rejects(bytes, "nonzero record reserved byte");
+  }
+  for (uint32_t bad_size : {0u, 2u, 6u, kMaxRecordSize + 4}) {
+    std::string bytes = base;
+    for (size_t b = 0; b < 4; ++b)
+      bytes[kRec0 + 4 + b] = static_cast<char>((bad_size >> (8 * b)) & 0xFF);
+    expect_reader_rejects(bytes, "bad size " + std::to_string(bad_size));
+  }
+  {
+    std::string bytes = base;
+    bytes[kRec0 + 8] = 2;  // offset = 2: unaligned
+    for (size_t b = 1; b < 8; ++b) bytes[kRec0 + 8 + b] = 0;
+    expect_reader_rejects(bytes, "unaligned offset");
+  }
+}
+
+TEST(TraceFormat, RejectsHostileRegionTable) {
+  const std::string base = valid_bytes();
+  constexpr size_t kRegion0 = kHeaderBytes;
+  {
+    std::string bytes = base;
+    bytes[kRegion0] = 0;  // empty name
+    expect_rejected(bytes, "empty region name");
+  }
+  {
+    std::string bytes = base;
+    // bytes = 2^40: single region beyond kMaxRegionBytes.
+    for (size_t b = 0; b < 8; ++b) bytes[kRegion0 + kRegionNameBytes + b] = 0;
+    bytes[kRegion0 + kRegionNameBytes + 5] = 1;
+    expect_rejected(bytes, "region size beyond limit");
+  }
+  {
+    std::string bytes = base;
+    bytes[kRegion0 + kRegionNameBytes + 8] = 0x04;  // unknown flag bit
+    expect_rejected(bytes, "unknown region flags");
+  }
+  {
+    std::string bytes = base;
+    bytes[kRegion0 + kRegionNameBytes + 12] = 1;  // reserved field
+    expect_rejected(bytes, "nonzero region reserved field");
+  }
+  {
+    std::string bytes = base;
+    bytes[kRegion0 + kRegionNameBytes - 2] = 'x';  // nonzero name padding
+    expect_rejected(bytes, "nonzero name padding");
+  }
+  {
+    // Duplicate region names: copy region 0's name field over region 1's.
+    std::string bytes = base;
+    for (size_t b = 0; b < kRegionNameBytes; ++b)
+      bytes[kRegion0 + kRegionEntryBytes + b] = bytes[kRegion0 + b];
+    expect_rejected(bytes, "duplicate region names");
+  }
+}
+
+TEST(TraceFormat, WriterRefusesInvalidTraces) {
+  std::string err;
+  Trace t = small_trace();
+  t.records[0].region = 99;
+  EXPECT_FALSE(write_trace_file(temp_path("w1.trace"), t, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+
+  Trace zero;
+  EXPECT_FALSE(write_trace_file(temp_path("w2.trace"), zero, &err));
+  EXPECT_NE(err.find("zero regions"), std::string::npos) << err;
+
+  Trace dup = small_trace();
+  dup.regions[1].name = dup.regions[0].name;
+  EXPECT_FALSE(write_trace_file(temp_path("w3.trace"), dup, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+
+  Trace past = small_trace();
+  past.records[0].offset = past.regions[past.records[0].region].bytes;
+  EXPECT_FALSE(write_trace_file(temp_path("w4.trace"), past, &err));
+  EXPECT_NE(err.find("past region"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, FailedWriteLeavesNoFileBehind) {
+  const std::string path = temp_path("never.trace");
+  Trace bad;
+  std::string err;
+  ASSERT_FALSE(write_trace_file(path, bad, &err));
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "invalid trace must not be materialized";
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace avr

@@ -1,0 +1,271 @@
+// Trace replay as a first-class sweep point: deterministic replay, pinned
+// golden digests for a bundled trace on every design, eager (startup-time)
+// rejection of bad workload names and trace specs, and cache integration.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "runtime/system.hh"
+#include "trace/trace_gen.hh"
+#include "workloads/trace.hh"
+#include "workloads/workload.hh"
+#include "workloads/workload_registry.hh"
+
+namespace avr {
+namespace {
+
+/// Bundled starter traces live in data/traces/; CTest injects the absolute
+/// source path via AVR_TRACE_DIR (tests run with CWD=build).
+std::string trace_dir() {
+  if (const char* env = std::getenv("AVR_TRACE_DIR")) return env;
+  for (const char* guess : {"data/traces", "../data/traces"}) {
+    std::ifstream probe(std::string(guess) + "/zipf.trace");
+    if (probe.good()) return guess;
+  }
+  return "data/traces";
+}
+
+std::string bundled(const std::string& file) { return trace_dir() + "/" + file; }
+
+/// The per-workload config the ExperimentRunner simulates under
+/// (ExperimentRunner::config_for with the default base).
+SimConfig point_config(const Workload& wl) {
+  SimConfig cfg;
+  cfg.scale_caches(wl.cache_scale());
+  cfg.llc.size_bytes = wl.llc_bytes();
+  cfg.avr.t1_mantissa_msbit = wl.t1_msbit();
+  return cfg;
+}
+
+uint64_t fnv1a(const std::vector<double>& out) {
+  uint64_t h = 1469598103934665603ull;
+  for (double d : out) {
+    uint64_t v = std::bit_cast<uint64_t>(d);
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (v & 0xFF)) * 1099511628211ull;
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+trace::Trace test_trace() {
+  trace::GenParams p;
+  p.records = 4096;
+  p.regions = 3;
+  p.region_bytes = 32768;
+  p.seed = 21;
+  return trace::make_mixed_trace(p);
+}
+
+// ---- replay determinism ----------------------------------------------------
+
+TEST(TraceWorkload, ReplayIsBitDeterministic) {
+  std::vector<double> outs[2];
+  RunMetrics ms[2];
+  for (int run = 0; run < 2; ++run) {
+    auto wl = make_trace_workload("trace:mem", test_trace());
+    System sys(Design::kAvr, point_config(*wl));
+    wl->run(sys);
+    sys.finish();
+    outs[run] = wl->output(sys);
+    ms[run] = sys.metrics();
+  }
+  ASSERT_FALSE(outs[0].empty());
+  ASSERT_EQ(outs[0].size(), outs[1].size());
+  for (size_t i = 0; i < outs[0].size(); ++i)
+    EXPECT_EQ(std::bit_cast<uint64_t>(outs[0][i]),
+              std::bit_cast<uint64_t>(outs[1][i]))
+        << "output word " << i << " differs between identical replays";
+  EXPECT_EQ(ms[0].cycles, ms[1].cycles);
+  EXPECT_EQ(ms[0].dram_bytes, ms[1].dram_bytes);
+  EXPECT_EQ(ms[0].llc_misses, ms[1].llc_misses);
+  EXPECT_EQ(ms[0].compression_ratio, ms[1].compression_ratio);
+}
+
+TEST(TraceWorkload, FunctionalAndTimingRunsAgreeOnOutput) {
+  // Same design, timing on vs off: the functional payload must not depend
+  // on the timing machinery (this is what makes golden runs meaningful).
+  auto wl_t = make_trace_workload("trace:mem", test_trace());
+  System timing(Design::kBaseline, point_config(*wl_t));
+  wl_t->run(timing);
+  timing.finish();
+
+  auto wl_f = make_trace_workload("trace:mem", test_trace());
+  System functional(Design::kBaseline, point_config(*wl_f), 1, /*timing=*/false);
+  wl_f->run(functional);
+
+  const auto a = wl_t->output(timing);
+  const auto b = wl_f->output(functional);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i])) << i;
+}
+
+// ---- pinned golden digests -------------------------------------------------
+
+// FNV-1a digests of the trace:zipf.trace output vector on every design,
+// captured when the trace frontend landed. Replay must stay bit-identical:
+// any drift in the PRNG, generators, replay order, or store values shows up
+// here as a digest mismatch.
+const std::map<Design, uint64_t> kZipfDigests = {
+    {Design::kBaseline, 0xe3b7b62cbba8352cull},
+    {Design::kDoppelganger, 0xe3b7b62cbba8352cull},
+    {Design::kTruncate, 0x98f5ba7fc2baf0e5ull},
+    {Design::kZeroAvr, 0xe3b7b62cbba8352cull},
+    {Design::kAvr, 0xd5b05d23366c51a2ull},
+};
+
+class TraceGoldenDigest : public ::testing::TestWithParam<Design> {};
+
+TEST_P(TraceGoldenDigest, BundledZipfTraceIsPinned) {
+  const Design d = GetParam();
+  auto wl = make_workload("trace:" + bundled("zipf.trace"));
+  System sys(d, point_config(*wl));
+  wl->run(sys);
+  sys.finish();
+  const uint64_t got = fnv1a(wl->output(sys));
+  EXPECT_EQ(got, kZipfDigests.at(d))
+      << to_string(d) << ": digest 0x" << std::hex << got;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, TraceGoldenDigest,
+                         ::testing::ValuesIn(ExperimentRunner::paper_designs()),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---- eager error paths (the make_workload silent-success fix) --------------
+
+TEST(TraceWorkloadErrors, UnknownWorkloadNameListsAlternatives) {
+  try {
+    (void)make_workload("definitely_not_a_workload");
+    FAIL() << "unknown name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("known:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trace:<path>"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceWorkloadErrors, MissingTraceFileFailsAtMakeWorkloadTime) {
+  try {
+    (void)make_workload("trace:/no/such/file.trace");
+    FAIL() << "missing trace file must throw eagerly";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace:/no/such/file.trace"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot open"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceWorkloadErrors, EmptyAndCacheHostilePathsAreRejected) {
+  EXPECT_THROW((void)make_workload("trace:"), std::invalid_argument);
+  // ',' and newlines would corrupt the result-cache CSV key space.
+  EXPECT_THROW((void)make_workload("trace:a,b.trace"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("trace:a\nb.trace"), std::invalid_argument);
+}
+
+TEST(TraceWorkloadErrors, CorruptTraceFileFailsAtMakeWorkloadTime) {
+  const std::string path = ::testing::TempDir() + "corrupt.trace";
+  std::ofstream(path, std::ios::binary) << "not a trace";
+  EXPECT_THROW((void)make_workload("trace:" + path), std::invalid_argument);
+}
+
+TEST(TraceWorkloadErrors, ParseWorkloadListValidatesTraceSpecsEagerly) {
+  EXPECT_THROW(sweep::parse_workload_list("heat,trace:/no/such/file.trace"),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parse_workload_list("not_a_workload"),
+               std::invalid_argument);
+  const auto pts = sweep::parse_workload_list(
+      "heat,trace:" + bundled("chase.trace"));
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], "heat");
+}
+
+TEST(TraceWorkloadErrors, DuplicateRegistrationThrows) {
+  // "heat" is taken by the built-in kernel at static-init time.
+  EXPECT_THROW(register_workload("heat", nullptr), std::logic_error);
+}
+
+// ---- sweep-point integration ----------------------------------------------
+
+TEST(TraceWorkloadSweep, AccessEstimateComesFromTheRecordStream) {
+  auto wl = make_workload("trace:" + bundled("chase.trace"));
+  EXPECT_EQ(wl->access_estimate(), 8192u);
+  EXPECT_EQ(wl->name(), "trace:" + bundled("chase.trace"));
+  // Built-in kernels keep the default "unknown" estimate.
+  EXPECT_EQ(make_workload("heat")->access_estimate(), 0u);
+}
+
+TEST(TraceWorkloadSweep, RunnerCachesTracePointsAcrossProcessLifetimes) {
+  const std::string cache = ::testing::TempDir() + "trace_point_cache.csv";
+  std::remove(cache.c_str());
+  const std::string point = "trace:" + bundled("chase.trace");
+
+  ExperimentRunner r1({}, /*verbose=*/false, cache);
+  EXPECT_FALSE(r1.cached(point, Design::kAvr));
+  const ExperimentResult& fresh = r1.run(point, Design::kAvr);
+  EXPECT_GE(fresh.m.output_error, 0.0);
+  EXPECT_GT(fresh.m.llc_requests, 0u);
+  EXPECT_TRUE(r1.cached(point, Design::kAvr));
+
+  // A second runner on the same cache file must hit at construction and
+  // reproduce the simulated metrics exactly.
+  ExperimentRunner r2({}, /*verbose=*/false, cache);
+  EXPECT_TRUE(r2.cached(point, Design::kAvr));
+  const ExperimentResult& hit = r2.run(point, Design::kAvr);
+  EXPECT_EQ(hit.m.cycles, fresh.m.cycles);
+  EXPECT_EQ(hit.m.dram_bytes, fresh.m.dram_bytes);
+  EXPECT_EQ(hit.m.output_error, fresh.m.output_error);
+}
+
+TEST(TraceWorkloadSweep, CostEstimateScalesWithRecordCountNotFootprint) {
+  // Two traces over identical regions, 4x apart in record count: the
+  // estimate must follow the record stream, not the (equal) footprint.
+  // Large enough record counts to clear the estimate's 0.02s floor.
+  auto write_chase = [](uint64_t records, const std::string& file) {
+    trace::GenParams p;
+    p.records = records;
+    p.regions = 2;
+    p.region_bytes = 65536;
+    p.seed = 5;
+    const std::string path = ::testing::TempDir() + file;
+    std::string err;
+    EXPECT_TRUE(trace::write_trace_file(path, trace::make_chase_trace(p), &err))
+        << err;
+    return path;
+  };
+  const std::string small = "trace:" + write_chase(200000, "cost_small.trace");
+  const std::string large = "trace:" + write_chase(800000, "cost_large.trace");
+
+  ExperimentRunner r({}, /*verbose=*/false, /*cache_path=*/"");
+  const double s = r.cost_estimate(small, Design::kBaseline);
+  const double l = r.cost_estimate(large, Design::kBaseline);
+  EXPECT_GT(s, 0.0);
+  EXPECT_NEAR(l / s, 4.0, 1e-9);
+  // AVR simulates compression machinery per miss: costlier than baseline.
+  EXPECT_GT(r.cost_estimate(large, Design::kAvr), l);
+}
+
+TEST(TraceWorkloadSweep, CaptureHookSeesEveryReplayedAccess) {
+  const trace::Trace t = test_trace();
+  auto wl = make_trace_workload("trace:mem", t);
+  System sys(Design::kBaseline, point_config(*wl), 1, /*timing=*/false);
+  uint64_t loads = 0, stores = 0;
+  sys.set_access_hook([&](uint64_t, bool write) { ++(write ? stores : loads); });
+  wl->run(sys);
+  sys.set_access_hook(nullptr);
+  EXPECT_EQ(loads + stores, t.access_count());
+  EXPECT_GT(stores, 0u);
+}
+
+}  // namespace
+}  // namespace avr
