@@ -5,6 +5,7 @@
 // plus a miniature Jacobi kernel as a workload-shaped composite.
 #include <benchmark/benchmark.h>
 
+#include "common/profile.hh"
 #include "runtime/system.hh"
 #include "trace/trace_gen.hh"
 #include "trace/trace_replay.hh"
@@ -118,6 +119,64 @@ void BM_WorkloadKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{kN - 2} * (kN - 2) * 5);
 }
 BENCHMARK(BM_WorkloadKernel);
+
+/// BM_WorkloadKernel with an active profile sink installed, as a sweep point
+/// runs it: the delta against BM_WorkloadKernel is the always-on profiling
+/// layer's overhead on real simulation work (acceptance bound: < 1%). Timers
+/// fire per *phase*, never per access, so the sink merely being active costs
+/// nothing on this path — the two benches should be within noise.
+void BM_WorkloadKernelProfiled(benchmark::State& state) {
+  constexpr uint32_t kN = 64;
+  prof::Totals totals;
+  prof::ScopedSink sink(&totals);
+  System sys(Design::kBaseline, small_cfg());
+  const uint64_t bytes = uint64_t{kN} * kN * sizeof(float);
+  const RegionHandle src = sys.alloc_region("bench.src", bytes, /*approx=*/true);
+  const RegionHandle dst = sys.alloc_region("bench.dst", bytes, /*approx=*/true);
+  auto at = [](uint32_t r, uint32_t c) {
+    return (uint64_t{r} * kN + c) * sizeof(float);
+  };
+  for (uint32_t r = 0; r < kN; ++r)
+    for (uint32_t c = 0; c < kN; ++c)
+      sys.store_f32(src, at(r, c), 1.0f + 0.01f * static_cast<float>(r + c));
+  for (auto _ : state) {
+    AVR_PROF_SCOPE(prof::Phase::kTiming);
+    for (uint32_t r = 1; r + 1 < kN; ++r)
+      for (uint32_t c = 1; c + 1 < kN; ++c) {
+        const float up = sys.load_f32(src, at(r - 1, c));
+        const float dn = sys.load_f32(src, at(r + 1, c));
+        const float lf = sys.load_f32(src, at(r, c - 1));
+        const float rt = sys.load_f32(src, at(r, c + 1));
+        sys.store_f32(dst, at(r, c), 0.25f * (up + dn + lf + rt));
+      }
+  }
+  benchmark::DoNotOptimize(totals);
+  state.SetItemsProcessed(state.iterations() * int64_t{kN - 2} * (kN - 2) * 5);
+}
+BENCHMARK(BM_WorkloadKernelProfiled);
+
+/// One ScopedTimer enter+exit with an installed sink: the marginal cost of
+/// adding a profiled phase (two clock_gettime reads + the accumulate).
+void BM_ProfileScopedTimer(benchmark::State& state) {
+  prof::Totals totals;
+  prof::ScopedSink sink(&totals);
+  for (auto _ : state) {
+    AVR_PROF_SCOPE(prof::Phase::kTiming);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(totals);
+}
+BENCHMARK(BM_ProfileScopedTimer);
+
+/// The same scope with NO sink installed — what every timer in a
+/// non-profiled context (figure benches, tests) costs: a TLS load + branch.
+void BM_ProfileScopedTimerIdle(benchmark::State& state) {
+  for (auto _ : state) {
+    AVR_PROF_SCOPE(prof::Phase::kTiming);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfileScopedTimerIdle);
 
 /// Trace replay through the full instrumented chain: a pointer-chase stream
 /// with no loop structure, the adversarial case for the L1 MRU line filter

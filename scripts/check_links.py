@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links and checks that every
+relative target (optionally with a #fragment) exists on disk, relative to
+the file containing the link. External (scheme://), mailto: and pure
+#fragment links are skipped; so are links inside fenced code blocks, which
+in this repo are command examples, not navigation.
+
+Usage: scripts/check_links.py [file-or-dir ...]   (default: README.md docs/)
+Exit status: 0 if every relative link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def candidate_files(args):
+    roots = [Path(a) for a in args] if args else [Path("README.md"), Path("docs")]
+    for root in roots:
+        if root.is_dir():
+            yield from sorted(root.rglob("*.md"))
+        elif root.suffix == ".md":
+            yield root
+
+
+def check_file(md: Path):
+    dead = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main(argv):
+    files = list(candidate_files(argv))
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for md in files:
+        for lineno, target in check_file(md):
+            print(f"{md}:{lineno}: dead relative link: {target}", file=sys.stderr)
+            failures += 1
+    print(f"check_links: {len(files)} file(s), {failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,6 +5,7 @@
 #include "avr/bias.hh"
 #include "avr/downsample.hh"
 #include "common/fp_bits.hh"
+#include "common/profile.hh"
 
 namespace avr {
 namespace {
@@ -143,6 +144,8 @@ bool Compressor::try_method(const MethodVariant& variant,
 std::optional<CompressionAttempt> Compressor::compress(
     std::span<const float, kValuesPerBlock> vals, DType dtype,
     CompressorScratch& scratch) const {
+  // Per block event, never per access: cheap enough to stay always-on.
+  AVR_PROF_SCOPE(prof::Phase::kCompress);
   // Stages 1+2, shared by every variant: bias into the comfortable Q16.16
   // range, then batch-convert to fixed point.
   int8_t bias = 0;
@@ -177,6 +180,7 @@ std::optional<CompressionAttempt> Compressor::compress(
 
 void Compressor::reconstruct(const CompressedBlock& cb,
                              std::span<float, kValuesPerBlock> out) const {
+  AVR_PROF_SCOPE(prof::Phase::kCompress);
   std::array<Fixed32, kSummaryValues> avg;
   for (uint32_t k = 0; k < kSummaryValues; ++k) avg[k] = Fixed32::from_raw(cb.summary[k]);
 

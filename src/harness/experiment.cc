@@ -57,8 +57,35 @@ ExperimentRunner::ExperimentRunner(SimConfig base, bool verbose,
   load_seed_costs();
 }
 
+ExperimentRunner::~ExperimentRunner() {
+  const char* out = std::getenv("AVR_PROFILE_OUT");
+  if (!out || !*out) return;
+  prof::Report report;
+  report.owner = prof::default_owner();
+  report.mode = "runner";
+  report.aggregate = profile_totals();
+  report.points = profile_points();
+  for (const prof::PointProfile& p : report.points)
+    report.wall_seconds += p.wall_seconds;
+  if (!report.aggregate.empty() && !prof::write_profile_json(out, report))
+    std::fprintf(stderr, "[profile] WARNING: could not write %s\n", out);
+}
+
+prof::Totals ExperimentRunner::profile_totals() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return prof_totals_;
+}
+
+std::vector<prof::PointProfile> ExperimentRunner::profile_points() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return prof_points_;
+}
+
 void ExperimentRunner::load_disk_cache() {
   if (cache_path_.empty()) return;
+  // Construction is single-threaded: route the load's cache-io time into
+  // the aggregate without taking mu_.
+  prof::ScopedSink sink(&prof_totals_);
   // Only records simulated under this runner's configuration: ablation
   // variants and the default grid can share one cache file.
   auto loaded = load_result_cache(cache_path_, cfg_hash_);
@@ -177,7 +204,10 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      prof_totals_.bump(prof::Counter::kCacheHits);
+      return it->second;
+    }
     flag = &run_once_[key];
   }
   std::call_once(*flag, [&] {
@@ -185,33 +215,58 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
       std::fprintf(stderr, "[run] %-8s x %-8s ...\n", name.c_str(), to_string(d));
     const auto t0 = std::chrono::steady_clock::now();
 
-    auto wl = make_workload(name);
-    System sys(d, config_for(*wl));
-    wl->run(sys);
-    // Output is collected before the drain: it reflects the values the
-    // application observes at the end of execution (see DESIGN.md).
-    const std::vector<double> out = wl->output(sys);
-    sys.finish();
-
+    // Everything the point does on this thread — setup, the runs, the
+    // compressor sub-spans, the cache append — accumulates into one
+    // per-point Totals, merged into the runner aggregate at the end.
+    prof::Totals pt;
     ExperimentResult res;
-    res.workload = name;
-    res.design = d;
-    res.config_hash = cfg_hash_;
-    res.m = sys.metrics();
-    res.m.output_error = mean_relative_error(out, golden(name));
-    res.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    {
+      prof::ScopedSink sink(&pt);
 
-    // Append before taking mu_: the cross-process flock inside can block on
-    // another shard's writer, and stalling this process's other workers on
-    // mu_ for that would serialize point completion across processes.
-    if (!cache_path_.empty() && !append_result_line(cache_path_, res)) {
-      disk_write_failures_.fetch_add(1);
-      std::fprintf(stderr, "[cache] WARNING: could not append %s x %s to %s\n",
-                   name.c_str(), to_string(d), cache_path_.c_str());
+      auto wl = [&] {
+        AVR_PROF_SCOPE(prof::Phase::kSetup);
+        return make_workload(name);
+      }();
+      System sys = [&] {
+        AVR_PROF_SCOPE(prof::Phase::kSetup);
+        return System(d, config_for(*wl));
+      }();
+      std::vector<double> out;
+      {
+        AVR_PROF_SCOPE(prof::Phase::kTiming);
+        wl->run(sys);
+        // Output is collected before the drain: it reflects the values the
+        // application observes at the end of execution (see DESIGN.md).
+        out = wl->output(sys);
+        sys.finish();
+      }
+
+      res.workload = name;
+      res.design = d;
+      res.config_hash = cfg_hash_;
+      res.m = sys.metrics();
+      {
+        AVR_PROF_SCOPE(prof::Phase::kFunctional);
+        res.m.output_error = mean_relative_error(out, golden(name));
+      }
+      res.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      prof::count(prof::Counter::kPointsSimulated);
+
+      // Append before taking mu_: the cross-process flock inside can block on
+      // another shard's writer, and stalling this process's other workers on
+      // mu_ for that would serialize point completion across processes.
+      if (!cache_path_.empty() && !append_result_line(cache_path_, res)) {
+        disk_write_failures_.fetch_add(1);
+        std::fprintf(stderr, "[cache] WARNING: could not append %s x %s to %s\n",
+                     name.c_str(), to_string(d), cache_path_.c_str());
+      }
     }
     std::lock_guard<std::mutex> lk(mu_);
+    prof_totals_.merge(pt);
+    prof_points_.push_back({name, to_string(d), base_.avr.t1_override,
+                            res.wall_seconds, pt});
     cache_.emplace(key, std::move(res));
   });
   std::lock_guard<std::mutex> lk(mu_);

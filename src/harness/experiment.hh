@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/profile.hh"
 #include "common/types.hh"
 #include "runtime/system.hh"
 #include "workloads/workload.hh"
@@ -22,7 +23,7 @@ struct ExperimentResult {
   Design design = Design::kBaseline;
   RunMetrics m;
   /// config_fingerprint() of the base SimConfig the point was simulated
-  /// under. Persisted (result-cache format v3) so caches can hold points
+  /// under. Persisted (result-cache format v3+) so caches can hold points
   /// from several configurations — the ablation sweeps — side by side.
   uint64_t config_hash = 0;
   /// Wall-clock seconds the point took to simulate. Persisted in the disk
@@ -38,13 +39,18 @@ class ExperimentRunner {
   /// binaries and sweep shards (they all share one default-config sweep).
   /// Appends are safe against concurrent writer *processes* — see
   /// harness/result_cache.hh for the format and locking contract. Records
-  /// carry the base config's fingerprint (format v3), so runners with
+  /// carry the base config's fingerprint (format v3+), so runners with
   /// different configurations — the bench_ablation variants — share one
   /// file safely: each loads only its own records. Pass "" to disable
   /// caching entirely. The environment variable AVR_RESULT_CACHE overrides
   /// the default path.
   explicit ExperimentRunner(SimConfig base = {}, bool verbose = true,
                             std::string cache_path = default_cache_path());
+
+  /// If the environment variable AVR_PROFILE_OUT names a path, writes the
+  /// runner's profile there as sidecar JSON (mode "runner"). avr_sweep
+  /// bypasses this and writes a richer per-shard report itself.
+  ~ExperimentRunner();
 
   static std::string default_cache_path();
   /// Committed per-point cost seed (see data/seed_costs.csv): measured
@@ -110,6 +116,16 @@ class ExperimentRunner {
   /// fail loudly.
   size_t disk_write_failures() const { return disk_write_failures_.load(); }
 
+  /// Aggregate profile of everything this runner did: per-phase time of all
+  /// simulated points plus the runner's own cache I/O, and the counters
+  /// (points simulated, cache hits, appends). Snapshot — safe to call
+  /// concurrently with run().
+  prof::Totals profile_totals();
+
+  /// One PointProfile per point this runner *simulated* (cache hits carry
+  /// no profile), in completion order, each with its per-phase breakdown.
+  std::vector<prof::PointProfile> profile_points();
+
  private:
   const std::vector<double>& golden(const std::string& wl);
   void load_disk_cache();
@@ -130,6 +146,10 @@ class ExperimentRunner {
   std::map<std::string, std::once_flag> golden_once_;
   std::map<std::pair<std::string, Design>, ExperimentResult> cache_;
   std::map<std::pair<std::string, Design>, std::once_flag> run_once_;
+  // Profile accumulation (guarded by mu_): the merged totals and the
+  // per-point slices, appended as each simulated point completes.
+  prof::Totals prof_totals_;
+  std::vector<prof::PointProfile> prof_points_;
 };
 
 // ---- table printing --------------------------------------------------------

@@ -12,12 +12,13 @@
 #include <vector>
 
 #include "common/file_lock.hh"
+#include "common/profile.hh"
 
 namespace avr {
 namespace {
 
 // Fixed fields (through wall_seconds) before the variable detail pairs:
-// v3 carries config_hash between design and the metrics, v2 does not.
+// v3/v4 carry config_hash between design and the metrics, v2 does not.
 constexpr size_t kFixedFieldsV3 = 25;
 constexpr size_t kFixedFieldsV2 = 24;
 
@@ -26,6 +27,14 @@ constexpr size_t kFixedFieldsV2 = 24;
 // as a shorter valid number — loses it and is rejected wholesale. The '#'
 // keeps it disjoint from detail-counter key names.
 constexpr const char* kRecordEnd = "end#";
+
+// Kind marker in the workload field of a claim record; the '#' keeps it
+// disjoint from workload names (identifiers / "trace:<path>" specs).
+constexpr const char* kClaimKind = "claim#";
+
+// A claim record has exactly 9 fields: version, kind, workload, design,
+// config_hash, owner, claimed_at, lease_seconds, end#.
+constexpr size_t kClaimFields = 9;
 
 void put(std::string& s, uint64_t v) { s += std::to_string(v); }
 
@@ -63,6 +72,54 @@ double to_dbl(const std::string& f) {
   const double v = std::stod(f, &pos);
   if (pos != f.size()) throw std::invalid_argument("trailing junk: " + f);
   return v;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::istringstream ls(line);
+  std::string field;
+  std::vector<std::string> f;
+  while (std::getline(ls, field, ',')) f.push_back(field);
+  return f;
+}
+
+// Shared record-closing check: the sentinel must be the final field and the
+// line must not end in ',' (getline would silently drop an empty last
+// field, letting "…,end#," pass as closed).
+bool record_closed(const std::vector<std::string>& f, const std::string& line) {
+  return !f.empty() && f.back() == kRecordEnd && line.back() != ',';
+}
+
+// Appends `line` (newline included by the caller) through an already-held
+// lock, starting on a fresh line if a previous writer died mid-record.
+// Rolls the file back on a failed write so a partial record of ours cannot
+// corrupt the next writer's.
+bool append_line_locked(const FileLock& lock, std::string line) {
+  struct stat st;
+  if (::fstat(lock.fd(), &st) != 0) return false;
+  if (st.st_size > 0) {
+    char last = '\n';
+    if (::pread(lock.fd(), &last, 1, st.st_size - 1) == 1 && last != '\n')
+      line.insert(line.begin(), '\n');
+  }
+  // One write() per record: with O_APPEND the kernel picks the offset
+  // atomically, and the flock guarantees no interleaving even for short
+  // writes — retry only ever continues our own record.
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(lock.fd(), line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Roll the file back to the pre-append size (the flock is still
+      // held), so our partial record cannot corrupt the next writer's.
+      if (::ftruncate(lock.fd(), st.st_size) != 0) {
+        // Rollback failed; leave the partial record on its own line for
+        // decode to reject.
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
 }
 
 }  // namespace
@@ -114,22 +171,21 @@ std::string encode_result_line(const ExperimentResult& r) {
 
 bool decode_result_line(const std::string& line, ExperimentResult* out) {
   if (line.empty()) return false;
-  std::istringstream ls(line);
-  std::string field;
-  std::vector<std::string> f;
-  while (std::getline(ls, field, ',')) f.push_back(field);
+  const std::vector<std::string> f = split_fields(line);
   if (f.empty()) return false;
-  // v3 is the native format; v2 lines (pre-config-hash) are still valid —
-  // every v2 cache was produced under the default configuration, so they
-  // decode with the default fingerprint.
+  // v4 is the native format; v3 (identical result layout) and v2 (the
+  // pre-config-hash layout) are still valid — every v2 cache was produced
+  // under the default configuration, so v2 decodes with the default
+  // fingerprint.
   const bool v2 = f[0] == "2";
-  if (!v2 && f[0] != std::to_string(kResultCacheVersion)) return false;
+  if (!v2 && f[0] != "3" && f[0] != std::to_string(kResultCacheVersion))
+    return false;
+  if (f.size() > 1 && f[1] == kClaimKind) return false;  // a claim, no result
   const size_t fixed = v2 ? kFixedFieldsV2 : kFixedFieldsV3;
   if (f.size() < fixed + 1) return false;
   // The sentinel must close the record: a torn tail — even one ending in
   // digits that happen to parse — cannot end with it.
-  if (f.back() != kRecordEnd || line.back() == ',') return false;
-  f.pop_back();
+  if (!record_closed(f, line)) return false;
   try {
     ExperimentResult r;
     size_t i = 1;
@@ -160,8 +216,8 @@ bool decode_result_line(const std::string& line, ExperimentResult* out) {
     r.wall_seconds = to_dbl(f[i++]);
     // A record cut inside the detail pairs would leave a dangling key; the
     // sentinel already rejects it, but keep the parity check as defense.
-    if ((f.size() - i) % 2 != 0) return false;
-    while (i + 1 < f.size()) {
+    if ((f.size() - 1 - i) % 2 != 0) return false;
+    while (i + 2 < f.size()) {
       m.detail[f[i]] = to_u64(f[i + 1]);
       i += 2;
     }
@@ -172,43 +228,65 @@ bool decode_result_line(const std::string& line, ExperimentResult* out) {
   }
 }
 
+std::string encode_claim_line(const ClaimRecord& c) {
+  std::string s = std::to_string(kResultCacheVersion);
+  s += ',';
+  s += kClaimKind;
+  s += ',';
+  s += c.workload;
+  s += ',';
+  put(s, static_cast<uint64_t>(c.design));
+  s += ',';
+  put(s, c.config_hash);
+  s += ',';
+  s += c.owner;  // comma-free token (prof::default_owner sanitizes)
+  s += ',';
+  put(s, c.claimed_at);
+  s += ',';
+  put(s, c.lease_seconds);
+  s += ',';
+  s += kRecordEnd;
+  return s;
+}
+
+bool decode_claim_line(const std::string& line, ClaimRecord* out) {
+  if (line.empty()) return false;
+  const std::vector<std::string> f = split_fields(line);
+  // Claims are transient scheduler state, not archival data: only the
+  // current format version is understood.
+  if (f.size() != kClaimFields) return false;
+  if (f[0] != std::to_string(kResultCacheVersion) || f[1] != kClaimKind)
+    return false;
+  if (!record_closed(f, line)) return false;
+  if (f[2].empty() || f[5].empty()) return false;  // workload / owner
+  try {
+    ClaimRecord c;
+    c.workload = f[2];
+    c.design = static_cast<Design>(to_int(f[3]));
+    c.config_hash = to_u64(f[4]);
+    c.owner = f[5];
+    c.claimed_at = to_u64(f[6]);
+    c.lease_seconds = to_u64(f[7]);
+    *out = std::move(c);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 bool append_result_line(const std::string& path, const ExperimentResult& r) {
-  std::string line = encode_result_line(r) + '\n';
+  AVR_PROF_SCOPE(prof::Phase::kCacheIo);
+  const std::string line = encode_result_line(r) + '\n';
   FileLock lock(path, O_RDWR | O_CREAT | O_APPEND);
   if (!lock.ok()) return false;
-  // If a previous writer died mid-record (killed, ENOSPC) the file ends in
-  // a partial line; start ours on a fresh line so the torn record stays
-  // isolated (and rejected by decode) instead of swallowing this one.
-  struct stat st;
-  if (::fstat(lock.fd(), &st) != 0) return false;
-  if (st.st_size > 0) {
-    char last = '\n';
-    if (::pread(lock.fd(), &last, 1, st.st_size - 1) == 1 && last != '\n')
-      line.insert(line.begin(), '\n');
-  }
-  // One write() per record: with O_APPEND the kernel picks the offset
-  // atomically, and the flock guarantees no interleaving even for short
-  // writes — retry only ever continues our own record.
-  size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::write(lock.fd(), line.data() + off, line.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // Roll the file back to the pre-append size (the flock is still
-      // held), so our partial record cannot corrupt the next writer's.
-      if (::ftruncate(lock.fd(), st.st_size) != 0) {
-        // Rollback failed; leave the partial record on its own line for
-        // decode to reject.
-      }
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
+  if (!append_line_locked(lock, line)) return false;
+  prof::count(prof::Counter::kCacheAppends);
   return true;
 }
 
 std::map<ResultKey, ExperimentResult> load_result_cache(
     const std::string& path, std::optional<uint64_t> config_filter) {
+  AVR_PROF_SCOPE(prof::Phase::kCacheIo);
   std::map<ResultKey, ExperimentResult> out;
   std::ifstream in(path);
   if (!in) return out;
@@ -221,6 +299,72 @@ std::map<ResultKey, ExperimentResult> load_result_cache(
     out[key] = std::move(r);
   }
   return out;
+}
+
+std::map<ResultKey, ClaimRecord> load_claims(
+    const std::string& path, std::optional<uint64_t> config_filter) {
+  AVR_PROF_SCOPE(prof::Phase::kCacheIo);
+  std::map<ResultKey, ClaimRecord> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    ClaimRecord c;
+    if (!decode_claim_line(line, &c)) continue;
+    if (config_filter && c.config_hash != *config_filter) continue;
+    ResultKey key{c.workload, c.design};
+    out[key] = std::move(c);  // later records supersede earlier ones
+  }
+  return out;
+}
+
+ClaimOutcome try_claim_point(const std::string& path, const ClaimRecord& want,
+                             uint64_t now) {
+  AVR_PROF_SCOPE(prof::Phase::kCacheIo);
+  // Read-modify-append under the same exclusive flock the writers use: no
+  // other process can append a result or claim between our scan and our
+  // claim line, so exactly one owner wins a fresh claim on a point.
+  FileLock lock(path, O_RDWR | O_CREAT | O_APPEND);
+  if (!lock.ok()) return ClaimOutcome::kError;
+
+  bool done = false;
+  bool have_claim = false;
+  ClaimRecord governing;
+  {
+    std::ifstream in(path);
+    if (!in) return ClaimOutcome::kError;
+    std::string line;
+    while (std::getline(in, line)) {
+      ExperimentResult r;
+      if (decode_result_line(line, &r)) {
+        if (r.workload == want.workload && r.design == want.design &&
+            r.config_hash == want.config_hash)
+          done = true;
+        continue;
+      }
+      ClaimRecord c;
+      if (decode_claim_line(line, &c) && c.workload == want.workload &&
+          c.design == want.design && c.config_hash == want.config_hash) {
+        governing = std::move(c);  // last claim in file order governs
+        have_claim = true;
+      }
+    }
+  }
+  if (done) return ClaimOutcome::kDone;
+  if (have_claim && !governing.expired(now)) {
+    if (governing.owner == want.owner) return ClaimOutcome::kClaimed;
+    prof::count(prof::Counter::kClaimsLost);
+    return ClaimOutcome::kBusy;
+  }
+
+  ClaimRecord stake = want;
+  stake.claimed_at = now;
+  if (!append_line_locked(lock, encode_claim_line(stake) + '\n'))
+    return ClaimOutcome::kError;
+  const bool reclaimed = have_claim && governing.owner != want.owner;
+  prof::count(reclaimed ? prof::Counter::kClaimsReclaimed
+                        : prof::Counter::kClaimsWon);
+  return reclaimed ? ClaimOutcome::kReclaimed : ClaimOutcome::kClaimed;
 }
 
 }  // namespace avr

@@ -1,16 +1,33 @@
-// On-disk result cache: one CSV line per completed (workload, design) point.
+// On-disk result cache: an append-only CSV journal holding one line per
+// completed (workload, design) point — and, since format v4, one line per
+// *claim* a work-stealing shard stakes on a point it is about to simulate.
 //
-// File format (version 3), one record per line, no header:
+// Result record (version 4; the v3 layout under a new version number):
 //
 //   version,workload,design,config_hash,<19 metric fields>,output_error,
 //       wall_seconds[,detail_key,detail_value]...,end#
 //
+// Claim record (version 4 only — transient scheduler state, see
+// docs/OPERATIONS.md for the protocol):
+//
+//   version,claim#,workload,design,config_hash,owner,claimed_at,
+//       lease_seconds,end#
+//
+// The "claim#" kind marker occupies the workload field of a result record;
+// the '#' keeps it disjoint from workload names (identifiers and
+// trace:<path> specs), exactly as the "end#" sentinel stays disjoint from
+// detail-counter keys. `claimed_at` is wall-clock (epoch) seconds; a claim
+// is live until claimed_at + lease_seconds, expired afterwards. Claims are
+// advisory scheduler hints: results remain the only source of truth, and a
+// duplicate result produced by an over-eager reclaim is harmless
+// (deterministic points, duplicate-tolerant loads).
+//
 // config_hash is the config_fingerprint() of the runner's *base* SimConfig
 // (per-workload scaling is deterministic from it), so records produced under
-// different configurations — e.g. the bench_ablation variants — can share
-// one cache file: loads filter on the hash. Version-2 lines (the same
-// layout without config_hash) are still decoded and are assigned the
-// default-config fingerprint, which is what produced every v2 cache.
+// different configurations — e.g. the bench_ablation or --t1 variants — can
+// share one cache file: loads filter on the hash. Version-2 lines (the v3
+// layout without config_hash) decode with the default-config fingerprint,
+// and version-3 lines decode unchanged — every pre-v4 cache stays readable.
 //
 // The trailing "end#" sentinel closes every record: a line torn mid-append
 // is missing it and is rejected as a whole (a cut inside the final numeric
@@ -20,10 +37,12 @@
 //   - a record is encoded to one string and appended with a single write(2)
 //     on an O_APPEND fd, under an exclusive flock(2) on the cache file —
 //     writers never interleave partial lines;
+//   - claim staking (try_claim_point) is read-modify-append under the same
+//     flock, so two shards can never both win a fresh claim on one point;
 //   - readers take no lock: load_result_cache() skips lines that are
-//     malformed, truncated (a reader racing the last append) or from another
-//     format version, and tolerates duplicate records (points are
-//     deterministic, so duplicates carry identical values; the last one
+//     malformed, truncated (a reader racing the last append), claims, or
+//     from another format version, and tolerates duplicate records (points
+//     are deterministic, so duplicates carry identical values; the last one
 //     wins). Merging shard caches is therefore plain concatenation.
 #pragma once
 
@@ -38,30 +57,85 @@ namespace avr {
 
 /// Bump whenever results become incomparable (model changes); config
 /// changes no longer need a bump — records carry a config fingerprint.
-/// Loads ignore records from any version other than this one or 2 (v2
-/// lines decode with the default-config fingerprint).
-inline constexpr int kResultCacheVersion = 3;
+/// Loads ignore records from any version other than this one, 3 (identical
+/// result layout) or 2 (decodes with the default-config fingerprint).
+inline constexpr int kResultCacheVersion = 4;
 
+/// The (workload, design) pair results and claims are keyed by.
 using ResultKey = std::pair<std::string, Design>;
 
-/// One CSV record, no trailing newline. Doubles are written with
+/// One work-stealing claim: `owner` (a comma-free token, unique per
+/// process) staked the point at wall-clock second `claimed_at` and promises
+/// a result within `lease_seconds`. Later claim records for the same key
+/// supersede earlier ones (last-writer-wins, serialized by the flock).
+struct ClaimRecord {
+  std::string workload;
+  Design design = Design::kBaseline;
+  uint64_t config_hash = 0;
+  std::string owner;
+  uint64_t claimed_at = 0;      // epoch seconds (wall clock)
+  uint64_t lease_seconds = 0;
+
+  /// True once the lease has run out as of wall-clock second `now`: the
+  /// owner is presumed dead and the point may be reclaimed.
+  bool expired(uint64_t now) const { return now >= claimed_at + lease_seconds; }
+};
+
+/// Outcome of one atomic claim attempt (try_claim_point).
+enum class ClaimOutcome {
+  kClaimed,    // we hold a live claim on the point — simulate it
+  kReclaimed,  // same, but we superseded another owner's expired claim
+  kDone,       // a result already exists — nothing to do
+  kBusy,       // another owner holds a live claim — try again later
+  kError,      // the cache file could not be opened/read/written
+};
+
+/// One result CSV record, no trailing newline. Doubles are written with
 /// max_digits10 precision so decode() round-trips them bit-exactly.
 std::string encode_result_line(const ExperimentResult& r);
 
-/// Parses one record. Returns false (leaving `*out` unspecified) for blank,
-/// malformed, truncated or wrong-version lines.
+/// Parses one result record. Returns false (leaving `*out` unspecified) for
+/// blank, malformed, truncated, wrong-version — or claim — lines.
 bool decode_result_line(const std::string& line, ExperimentResult* out);
 
-/// Appends one record under the locking contract above. Returns false if the
-/// file could not be opened or the write failed (best-effort: the in-memory
-/// cache is the source of truth within a process).
+/// One claim CSV record, no trailing newline.
+std::string encode_claim_line(const ClaimRecord& c);
+
+/// Parses one claim record; false for anything else (results included).
+bool decode_claim_line(const std::string& line, ClaimRecord* out);
+
+/// Appends one result record under the locking contract above. Returns
+/// false if the file could not be opened or the write failed (best-effort:
+/// the in-memory cache is the source of truth within a process).
 bool append_result_line(const std::string& path, const ExperimentResult& r);
 
-/// Loads every valid record; missing file yields an empty map. When
+/// Loads every valid result record; missing file yields an empty map. When
 /// `config_filter` is set, records whose config_hash differs are skipped —
 /// a runner only warms from points simulated under its own configuration.
 std::map<ResultKey, ExperimentResult> load_result_cache(
     const std::string& path,
     std::optional<uint64_t> config_filter = std::nullopt);
+
+/// Loads the *governing* claim per point: the last claim record in file
+/// order for each (workload, design) key, config-filtered like
+/// load_result_cache. Points that already have a result are still listed if
+/// claimed — callers decide whether a claim is moot (result exists), live,
+/// or expired.
+std::map<ResultKey, ClaimRecord> load_claims(
+    const std::string& path,
+    std::optional<uint64_t> config_filter = std::nullopt);
+
+/// Atomically stakes a claim for (want.workload, want.design) under
+/// want.config_hash: holding the cache flock, re-reads the file and
+///   - returns kDone if a result for the point already exists,
+///   - returns kBusy if another owner's claim is live at wall-clock second
+///     `now` (a live claim by want.owner itself returns kClaimed without
+///     appending a duplicate),
+///   - otherwise appends `want` (stamped claimed_at = now) and returns
+///     kClaimed — or kReclaimed when it superseded an expired foreign claim.
+/// kError means the cache file itself is unusable; callers should abort
+/// rather than spin.
+ClaimOutcome try_claim_point(const std::string& path, const ClaimRecord& want,
+                             uint64_t now);
 
 }  // namespace avr

@@ -1,10 +1,18 @@
 #include "harness/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "harness/experiment.hh"
+#include "harness/result_cache.hh"
 #include "workloads/workload_registry.hh"
 
 namespace avr {
@@ -147,6 +155,130 @@ std::vector<std::string> parse_workload_list(const std::string& csv) {
   }
   if (out.empty()) throw std::invalid_argument("empty workload list");
   return out;
+}
+
+StealOutcome run_work_stealing(
+    const std::vector<VariantPoint>& grid,
+    const std::function<ExperimentRunner&(int t1)>& runner_for,
+    const std::string& cache_path, const StealOptions& opts,
+    unsigned n_threads) {
+  if (cache_path.empty())
+    throw std::invalid_argument(
+        "work stealing needs a shared cache file (claims live in it)");
+  const std::string owner =
+      opts.owner.empty() ? prof::default_owner() : opts.owner;
+
+  // Resolve each point's runner, cost and lease once up front; workers then
+  // scan in descending-cost order, which is exactly the longest-first
+  // schedule run_points uses — but now across processes: whichever process
+  // gets there first claims the expensive tail.
+  const size_t n = grid.size();
+  std::vector<ExperimentRunner*> runner(n);
+  std::vector<double> cost(n);
+  std::vector<uint64_t> lease(n);
+  for (size_t i = 0; i < n; ++i) {
+    runner[i] = &runner_for(grid[i].t1);
+    cost[i] = runner[i]->cost_estimate(grid[i].point.first, grid[i].point.second);
+    lease[i] = opts.lease_seconds
+                   ? opts.lease_seconds
+                   : static_cast<uint64_t>(std::max(30.0, 20.0 * cost[i]));
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return cost[a] > cost[b]; });
+
+  // Per-point state: 0 = open, 1 = reserved by a thread of this process,
+  // 2 = done (result exists, ours or anyone's). The CAS 0->1 keeps two
+  // threads of one process off the same point; the claim record keeps two
+  // *processes* off it.
+  std::vector<std::atomic<int>> state(n);
+  std::atomic<size_t> open_count{n};
+
+  StealOutcome outcome;
+  std::mutex stats_mu;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+
+  auto now = [] { return static_cast<uint64_t>(::time(nullptr)); };
+
+  auto worker = [&] {
+    // Scheduler-side profile: claim I/O and win/loss counters land here;
+    // each simulated point installs its own sink inside run(), so point
+    // time is never double-counted as scheduler time.
+    prof::Totals sched;
+    prof::ScopedSink sink(&sched);
+    while (!failed.load(std::memory_order_relaxed) &&
+           open_count.load(std::memory_order_relaxed) > 0) {
+      bool progressed = false;
+      for (size_t k : order) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        int expect = 0;
+        if (!state[k].compare_exchange_strong(expect, 1)) continue;
+        const auto& [wl, d] = grid[k].point;
+        ClaimRecord want;
+        want.workload = wl;
+        want.design = d;
+        want.config_hash = runner[k]->config_hash();
+        want.owner = owner;
+        want.lease_seconds = lease[k];
+        const ClaimOutcome got = try_claim_point(cache_path, want, now());
+        if (got == ClaimOutcome::kClaimed || got == ClaimOutcome::kReclaimed) {
+          if (got == ClaimOutcome::kReclaimed)
+            std::fprintf(stderr, "[steal] %s reclaims %s x %s (lease expired)\n",
+                         owner.c_str(), wl.c_str(), to_string(d));
+          try {
+            (void)runner[k]->run(wl, d);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lk(stats_mu);
+            if (!first_error) first_error = std::current_exception();
+            break;
+          }
+          state[k].store(2);
+          open_count.fetch_sub(1);
+          progressed = true;
+          std::lock_guard<std::mutex> lk(stats_mu);
+          outcome.simulated++;
+          if (got == ClaimOutcome::kReclaimed) outcome.reclaimed++;
+        } else if (got == ClaimOutcome::kDone) {
+          state[k].store(2);
+          open_count.fetch_sub(1);
+          progressed = true;
+          std::lock_guard<std::mutex> lk(stats_mu);
+          outcome.done_elsewhere++;
+        } else if (got == ClaimOutcome::kBusy) {
+          state[k].store(0);  // a live foreign claim — poll again later
+        } else {
+          state[k].store(0);
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lk(stats_mu);
+          if (!first_error)
+            first_error = std::make_exception_ptr(std::runtime_error(
+                "work stealing: cache file unusable: " + cache_path));
+          break;
+        }
+      }
+      // Every remaining point is claimed by a live foreign owner: wait for
+      // their results (or their leases) instead of hammering the flock.
+      if (!progressed && open_count.load(std::memory_order_relaxed) > 0 &&
+          !failed.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opts.poll_seconds));
+    }
+    std::lock_guard<std::mutex> lk(stats_mu);
+    outcome.sched.merge(sched);
+  };
+
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  n_threads = std::max<unsigned>(1, std::min<size_t>(n_threads, std::max<size_t>(n, 1)));
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads - 1);
+  for (unsigned t = 1; t < n_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return outcome;
 }
 
 }  // namespace sweep

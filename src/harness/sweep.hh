@@ -1,25 +1,39 @@
-// Grid enumeration and shard slicing for the distributed paper sweep.
+// Grid enumeration, shard slicing and the claim-based work-stealing
+// scheduler for the distributed paper sweep.
 //
 // The canonical grid order is workload-major, design-minor — the same order
-// run_all() returns. Shard i of N owns every grid point whose canonical
-// index ≡ i (mod N): slices are computed independently by each process from
-// nothing but the (workloads, designs, i, N) tuple, are pairwise disjoint,
-// and their union is exactly the full grid. Round-robin (rather than
-// contiguous ranges) spreads each workload's cheap and expensive designs
-// across shards, which keeps shard wall-clocks close even before the
-// longest-first scheduler kicks in.
+// run_all() returns. Two ways to split it across processes:
+//
+//   - *Static shards* (--shard i/N): shard i owns every grid point whose
+//     canonical index ≡ i (mod N). Slices are computed independently by
+//     each process from nothing but the (workloads, designs, i, N) tuple,
+//     are pairwise disjoint, and their union is exactly the full grid.
+//     Round-robin spreads cheap and expensive designs across shards, but a
+//     ~30x cost spread still leaves shards idle while a straggler finishes.
+//   - *Work stealing* (--claim): every process sees the full grid and
+//     claims points one at a time by appending claim records through the
+//     flock'd cache file (run_work_stealing below, protocol in
+//     harness/result_cache.hh and docs/OPERATIONS.md). Stragglers
+//     rebalance automatically, a killed process's claims expire and get
+//     reclaimed, and no i/N coordination is needed up front.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/profile.hh"
 #include "common/types.hh"
 
 namespace avr {
+
+class ExperimentRunner;
+
 namespace sweep {
 
+/// One static slice of the grid: this process is shard `index` of `count`.
 struct Shard {
   unsigned index = 0;
   unsigned count = 1;
@@ -81,6 +95,47 @@ std::vector<Design> parse_design_list(const std::string& csv);
 /// yields workload_names(). Throws std::invalid_argument for unknown names
 /// and for missing/corrupt trace files.
 std::vector<std::string> parse_workload_list(const std::string& csv);
+
+// ---- claim-based work stealing ---------------------------------------------
+
+/// Knobs for run_work_stealing.
+struct StealOptions {
+  /// Claim-owner token (comma-free; "" uses prof::default_owner()).
+  std::string owner;
+  /// Fixed lease in seconds for every claim; 0 picks an adaptive lease of
+  /// max(30, 20 x cost_estimate) seconds per point — generous enough that a
+  /// live shard never loses a point it is still simulating, short enough
+  /// that a killed shard's points come back within a minute.
+  uint64_t lease_seconds = 0;
+  /// Sleep between rescans when every remaining point is claimed by a live
+  /// foreign owner (waiting for their results — or their leases — to land).
+  double poll_seconds = 0.5;
+};
+
+/// What one process's run_work_stealing did, for logs and --profile.
+struct StealOutcome {
+  size_t simulated = 0;       // points this process claimed and simulated
+  size_t reclaimed = 0;       // of those, won by superseding an expired claim
+  size_t done_elsewhere = 0;  // points another owner completed
+  prof::Totals sched;         // scheduler-side cache I/O + claim counters
+};
+
+/// Runs `grid` to completion cooperatively with any number of concurrent
+/// processes sharing `cache_path`: each of `n_threads` workers (0 =
+/// hardware concurrency) repeatedly scans the remaining points in
+/// descending cost_estimate order, stakes a claim through the cache flock
+/// (result_cache.hh), and simulates the points it wins via
+/// `runner_for(t1)` — which must return, for each t1 value in the grid, a
+/// runner writing to `cache_path` (the same runner every call). Returns
+/// once *every* point has a result, whether produced here or by another
+/// process; a process that finishes early keeps polling (poll_seconds) and
+/// reclaims expired claims, so a SIGKILLed peer's points are picked up
+/// automatically. Throws on cache I/O failure or a simulation error.
+StealOutcome run_work_stealing(
+    const std::vector<VariantPoint>& grid,
+    const std::function<ExperimentRunner&(int t1)>& runner_for,
+    const std::string& cache_path, const StealOptions& opts,
+    unsigned n_threads = 0);
 
 }  // namespace sweep
 }  // namespace avr

@@ -1,21 +1,29 @@
 // avr_sweep: shardable command-line driver for the paper's (workload x
-// design) sweep. Each invocation owns one deterministic slice of the grid
-// and appends its results to a writer-safe CSV cache, so a full reproduction
-// splits across processes (or CI jobs) and the caches merge by
-// concatenation. See docs/ARCHITECTURE.md ("Sharded sweep").
+// design) sweep. Each invocation owns a slice of the grid — a fixed
+// round-robin `--shard i/N` slice, or (preferred) whatever it wins under
+// `--claim` work stealing — and appends its results to a writer-safe CSV
+// cache, so a full reproduction splits across processes (or CI jobs) and
+// the caches merge by concatenation. Every run also emits a per-phase
+// profile sidecar (docs/OPERATIONS.md documents both the claim protocol
+// and the profile schema).
 //
-//   avr_sweep --shard 1/3 --cache shard1.csv      run slice 1 of 3
-//   avr_sweep --check --cache merged.csv          assert full-grid coverage
+//   avr_sweep --claim --cache sweep.csv &          three cooperating
+//   avr_sweep --claim --cache sweep.csv &          workers splitting the
+//   avr_sweep --claim --cache sweep.csv            grid by work stealing
+//   avr_sweep --shard 1/3 --cache shard1.csv       static slice 1 of 3
+//   avr_sweep --check --cache merged.csv           assert full-grid coverage
 //   avr_sweep --assert-same other.csv --cache a.csv   compare two caches
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <exception>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/profile.hh"
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "harness/sweep.hh"
@@ -27,8 +35,16 @@ constexpr const char* kUsage = R"(usage: avr_sweep [options]
 Runs (a shard of) the full (workload x design) sweep and appends results to
 the shared CSV cache. Exits nonzero if any point fails.
 
-  --shard i/N        run grid points with canonical index == i (mod N)
-                     (default 0/1: the whole grid)
+  --claim            work-stealing mode: claim points one at a time through
+                     the shared cache file until the whole grid has results;
+                     any number of concurrent --claim processes cooperate
+                     (mutually exclusive with --shard; requires a cache)
+  --claim-lease s    fixed claim lease in seconds (default 0 = adaptive:
+                     max(30, 20 x estimated point cost))
+  --owner name       claim-owner token, unique per process, comma-free
+                     (default <hostname>-<pid>)
+  --shard i/N        static mode: run grid points with canonical index == i
+                     (mod N) (default 0/1: the whole grid)
   --jobs n           thread-pool size (default 0 = hardware concurrency)
   --workloads a,b    comma-separated workload subset (default: all seven)
   --designs x,y      comma-separated design subset, names as printed in the
@@ -41,9 +57,13 @@ the shared CSV cache. Exits nonzero if any point fails.
                      paper thresholds only.
   --cache path       result cache file (default: avr_results_cache.csv or
                      $AVR_RESULT_CACHE); "" disables persistence
+  --profile          print the per-phase profile summary table on exit
+  --profile-out p    profile sidecar JSON path (default
+                     <cache>.<owner>.profile.json; "" disables the sidecar)
   --list             print this shard's points and exit (runs nothing)
-  --check            verify the cache already covers this shard's points;
-                     exit 1 listing any missing point (runs nothing)
+  --check            verify the cache already covers this shard's points and
+                     audit its claim records; exit 1 listing any missing
+                     point (runs nothing)
   --assert-same p    verify the cache and cache file `p` contain the same
                      point set with identical metric values (wall-clock
                      timing excluded); exit 1 on any difference (runs nothing)
@@ -53,12 +73,19 @@ the shared CSV cache. Exits nonzero if any point fails.
 
 struct Options {
   avr::sweep::Shard shard;
+  bool shard_set = false;
+  bool claim = false;
+  uint64_t claim_lease = 0;
+  std::string owner = avr::prof::default_owner();
   unsigned jobs = 0;
   std::vector<std::string> workloads;
   std::vector<avr::Design> designs;
   std::vector<int> t1_values{-1};
   std::string cache_path = avr::ExperimentRunner::default_cache_path();
   std::string assert_same_path;
+  std::string profile_out;
+  bool profile_out_set = false;
+  bool profile = false;
   bool list = false;
   bool check = false;
   bool assert_same = false;
@@ -78,6 +105,26 @@ Options parse_args(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--shard") {
       o.shard = avr::sweep::parse_shard(value(i, "--shard"));
+      o.shard_set = true;
+    } else if (a == "--claim") {
+      o.claim = true;
+    } else if (a == "--claim-lease") {
+      const std::string v = value(i, "--claim-lease");
+      size_t pos = 0;
+      const long lease = std::stol(v, &pos);
+      if (pos != v.size() || lease <= 0)
+        throw std::invalid_argument("bad --claim-lease value: " + v);
+      o.claim_lease = static_cast<uint64_t>(lease);
+    } else if (a == "--owner") {
+      o.owner = value(i, "--owner");
+      if (o.owner.empty() || o.owner.find(',') != std::string::npos ||
+          o.owner.find('\n') != std::string::npos)
+        throw std::invalid_argument("--owner must be a non-empty comma-free token");
+    } else if (a == "--profile") {
+      o.profile = true;
+    } else if (a == "--profile-out") {
+      o.profile_out = value(i, "--profile-out");
+      o.profile_out_set = true;
     } else if (a == "--jobs") {
       const std::string v = value(i, "--jobs");
       size_t pos = 0;
@@ -109,6 +156,12 @@ Options parse_args(int argc, char** argv) {
       throw std::invalid_argument("unknown flag: " + a);
     }
   }
+  if (o.claim && o.shard_set)
+    throw std::invalid_argument(
+        "--claim and --shard are mutually exclusive (claim mode splits the "
+        "grid dynamically)");
+  if (o.claim && o.cache_path.empty())
+    throw std::invalid_argument("--claim needs a cache file (claims live in it)");
   return o;
 }
 
@@ -141,9 +194,23 @@ std::map<int, std::vector<avr::sweep::Point>> by_variant(
 int check_coverage(const Options& o,
                    const std::vector<avr::sweep::VariantPoint>& slice) {
   size_t missing = 0;
+  // Claim audit alongside coverage: a claim is *moot* once its point has a
+  // result, *dangling* otherwise (its point is also missing, so dangling
+  // claims imply a nonzero exit — "zero unclaimed points" in CI is exactly
+  // this check passing).
+  size_t claims = 0, dangling = 0;
+  const uint64_t now = static_cast<uint64_t>(std::time(nullptr));
   for (const auto& [t1, points] : by_variant(slice)) {
-    const auto cache =
-        avr::load_result_cache(o.cache_path, variant_fingerprint(t1));
+    const uint64_t fp = variant_fingerprint(t1);
+    const auto cache = avr::load_result_cache(o.cache_path, fp);
+    for (const auto& [key, c] : avr::load_claims(o.cache_path, fp)) {
+      ++claims;
+      if (cache.count(key)) continue;
+      ++dangling;
+      std::fprintf(stderr, "dangling claim: %s x %s by %s (%s)\n",
+                   key.first.c_str(), avr::to_string(key.second),
+                   c.owner.c_str(), c.expired(now) ? "expired" : "live");
+    }
     for (const auto& p : points) {
       if (!cache.count(p)) {
         if (t1 < 0)
@@ -156,13 +223,16 @@ int check_coverage(const Options& o,
       }
     }
   }
-  if (missing) {
-    std::fprintf(stderr, "%s covers %zu/%zu points (%zu missing)\n",
+  if (missing || dangling) {
+    std::fprintf(stderr,
+                 "%s covers %zu/%zu points (%zu missing, %zu dangling "
+                 "claim(s))\n",
                  o.cache_path.c_str(), slice.size() - missing, slice.size(),
-                 missing);
+                 missing, dangling);
     return 1;
   }
-  std::printf("%s covers all %zu points\n", o.cache_path.c_str(), slice.size());
+  std::printf("%s covers all %zu points (%zu claim record(s), all moot)\n",
+              o.cache_path.c_str(), slice.size(), claims);
   return 0;
 }
 
@@ -224,9 +294,10 @@ int main(int argc, char** argv) {
   }
 
   // The (t1 x workload x design) variant grid; the default --t1 list {-1}
-  // makes it exactly the historical (workload x design) grid.
+  // makes it exactly the historical (workload x design) grid. In claim mode
+  // every process works the full grid — the claims do the splitting.
   const auto grid = sweep::full_variant_grid(o.t1_values, o.workloads, o.designs);
-  const auto slice = sweep::shard_slice(grid, o.shard);
+  const auto slice = o.claim ? grid : sweep::shard_slice(grid, o.shard);
   const bool t1_axis = o.t1_values.size() > 1 || o.t1_values[0] >= 0;
 
   if (o.list) {
@@ -255,19 +326,40 @@ int main(int argc, char** argv) {
       if (runners.back().second->cached(w, d)) ++warm;
   }
 
-  std::fprintf(stderr,
-               "[sweep] shard %u/%u: %zu of %zu grid points (%zu cached, "
-               "%zu variant(s)), %u jobs, cache=%s\n",
-               o.shard.index, o.shard.count, slice.size(), grid.size(), warm,
-               groups.size(), o.jobs,
-               o.cache_path.empty() ? "<disabled>" : o.cache_path.c_str());
+  if (o.claim)
+    std::fprintf(stderr,
+                 "[sweep] claim mode (owner %s): %zu grid points (%zu cached, "
+                 "%zu variant(s)), %u jobs, cache=%s\n",
+                 o.owner.c_str(), grid.size(), warm, groups.size(), o.jobs,
+                 o.cache_path.c_str());
+  else
+    std::fprintf(stderr,
+                 "[sweep] shard %u/%u: %zu of %zu grid points (%zu cached, "
+                 "%zu variant(s)), %u jobs, cache=%s\n",
+                 o.shard.index, o.shard.count, slice.size(), grid.size(), warm,
+                 groups.size(), o.jobs,
+                 o.cache_path.empty() ? "<disabled>" : o.cache_path.c_str());
 
   const auto t0 = std::chrono::steady_clock::now();
   size_t write_failures = 0;
+  sweep::StealOutcome steal;
   try {
-    for (auto& [t1, runner] : runners) {
-      runner->run_points(groups.at(t1), o.jobs);
-      write_failures += runner->disk_write_failures();
+    if (o.claim) {
+      std::map<int, ExperimentRunner*> rmap;
+      for (auto& [t1, runner] : runners) rmap[t1] = runner.get();
+      sweep::StealOptions so;
+      so.owner = o.owner;
+      so.lease_seconds = o.claim_lease;
+      steal = sweep::run_work_stealing(
+          grid, [&](int t1) -> ExperimentRunner& { return *rmap.at(t1); },
+          o.cache_path, so, o.jobs);
+      for (auto& [t1, runner] : runners)
+        write_failures += runner->disk_write_failures();
+    } else {
+      for (auto& [t1, runner] : runners) {
+        runner->run_points(groups.at(t1), o.jobs);
+        write_failures += runner->disk_write_failures();
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "avr_sweep: point failed: %s\n", e.what());
@@ -283,8 +375,41 @@ int main(int argc, char** argv) {
                  write_failures, o.cache_path.c_str());
     return 1;
   }
-  std::printf("[sweep] shard %u/%u done: %zu points (%zu simulated) in %.1fs\n",
-              o.shard.index, o.shard.count, slice.size(), slice.size() - warm,
-              secs);
+
+  // Per-phase profile: aggregate of every runner (and, in claim mode, the
+  // scheduler's claim I/O), one slice per simulated point. The sidecar is
+  // written unconditionally — it documents what this process did even when
+  // nobody asked for the table.
+  prof::Report report;
+  report.owner = o.owner;
+  report.mode = o.claim ? "claim" : "shard";
+  report.wall_seconds = secs;
+  report.aggregate = steal.sched;
+  for (auto& [t1, runner] : runners) {
+    report.aggregate.merge(runner->profile_totals());
+    auto pts = runner->profile_points();
+    report.points.insert(report.points.end(),
+                         std::make_move_iterator(pts.begin()),
+                         std::make_move_iterator(pts.end()));
+  }
+  std::string profile_path = o.profile_out;
+  if (!o.profile_out_set && !o.cache_path.empty())
+    profile_path = o.cache_path + "." + o.owner + ".profile.json";
+  if (!profile_path.empty() &&
+      !prof::write_profile_json(profile_path, report))
+    std::fprintf(stderr, "avr_sweep: WARNING: could not write profile %s\n",
+                 profile_path.c_str());
+  if (o.profile) prof::print_summary(stdout, report);
+
+  if (o.claim)
+    std::printf(
+        "[sweep] claim done (owner %s): %zu simulated (%zu reclaimed), "
+        "%zu already done, in %.1fs\n",
+        o.owner.c_str(), steal.simulated, steal.reclaimed, steal.done_elsewhere,
+        secs);
+  else
+    std::printf("[sweep] shard %u/%u done: %zu points (%zu simulated) in %.1fs\n",
+                o.shard.index, o.shard.count, slice.size(), slice.size() - warm,
+                secs);
   return 0;
 }
