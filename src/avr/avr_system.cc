@@ -46,9 +46,17 @@ AvrSystem::CompressOutcome AvrSystem::compress_block_values(uint64_t block) {
   }
   // The block now lives in summarized form: every subsequent read observes
   // the reconstruction. Outliers are stored exactly, so reconstruct() leaves
-  // them bit-identical.
-  compressor_.reconstruct(att->block, vals);
+  // them bit-identical. Exact-tier encodings (BDI-hybrid) skip this — their
+  // reconstruction is the identity, so the backing store must stay untouched.
+  if (!method_is_exact(att->block.method))
+    compressor_.reconstruct(att->block, vals);
   ++counters_.compress_successes;
+  switch (att->block.method) {
+    case Method::kDownsample1D: ++counters_.blocks_1d; break;
+    case Method::kDownsample2D: ++counters_.blocks_2d; break;
+    case Method::kBdiHybrid: ++counters_.blocks_bdi; break;
+    default: break;
+  }
   compressed_lines_sum_ += att->block.lines();
   compressed_blocks_ += 1;
   return {att->block.lines(), att->block.method, att->block.bias};
@@ -401,6 +409,15 @@ StatGroup AvrSystem::stats() const {
   g.add_nonzero("compress_attempts", counters_.compress_attempts);
   g.add_nonzero("compress_successes", counters_.compress_successes);
   g.add_nonzero("compress_failures", counters_.compress_failures);
+  // Per-method histogram, zero-omitting and gated on the BDI-hybrid flag:
+  // RunMetrics.detail is persisted in result caches and compared bit for bit
+  // (--assert-same, the pinned stats tests), so every configuration that
+  // existed before the two-tier method layer must keep its exact snapshot.
+  if (cfg_.avr.enable_bdi_hybrid) {
+    g.add_nonzero("blocks_1d", counters_.blocks_1d);
+    g.add_nonzero("blocks_2d", counters_.blocks_2d);
+    g.add_nonzero("blocks_bdi", counters_.blocks_bdi);
+  }
   g.add_nonzero("attempts_skipped", counters_.attempts_skipped);
   g.add_nonzero("approx_evictions", counters_.approx_evictions);
   g.add_nonzero("evict_other_wb", counters_.evict_other_wb);

@@ -46,6 +46,12 @@ struct AvrSystemCounters {
   uint64_t compress_attempts = 0;
   uint64_t compress_successes = 0;
   uint64_t compress_failures = 0;
+  // Per-method success histogram (which tier/variant won each compression).
+  // Surfaced in stats() only when the BDI-hybrid tier is enabled, so
+  // pre-existing configurations' snapshots stay byte-identical.
+  uint64_t blocks_1d = 0;
+  uint64_t blocks_2d = 0;
+  uint64_t blocks_bdi = 0;
   uint64_t attempts_skipped = 0;
   uint64_t approx_evictions = 0;
   uint64_t evict_other_wb = 0;

@@ -8,6 +8,10 @@
 //
 // The summary is kept in the biased fixed-point domain; `bias` and `method`
 // travel in the CMT entry (Fig. 3) but are duplicated here for convenience.
+// A lossless-exact encoding (Method::kBdiHybrid) uses none of the summary
+// machinery: it is a pure size record (`encoded_bytes`) over the block's
+// raw bit image — the simulator never stores BDI-encoded bytes, and the
+// backing data itself is the exact reconstruction.
 //
 // The whole struct is trivially copyable: the outlier list is a
 // fixed-capacity inline array (the 8-line budget bounds it at
@@ -17,26 +21,24 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 
+#include "avr/method.hh"
 #include "common/bitmap.hh"
 #include "common/types.hh"
 
 namespace avr {
 
-inline constexpr uint32_t kSummaryValues = 16;  // 16:1 target over 256 values
-inline constexpr uint32_t kBitmapBytes = Bitmap256::kBits / 8;  // 32 B = half a line
-
-/// Largest outlier count that still fits the 8-line budget:
-/// 7 lines * 64 B = 448 B minus the 32 B bitmap = 104 outliers.
-inline constexpr uint32_t kMaxBlockOutliers =
-    (7 * kCachelineBytes - kBitmapBytes) / 4;
+// The size constants live in avr/method.hh with the per-method size model;
+// the bitmap type must stay one-bit-per-block-value for them to agree.
+static_assert(kBitmapBytes == Bitmap256::kBits / 8);
 
 /// Fixed-capacity inline list of raw 32-bit outlier images. Mirrors the
 /// std::vector surface the encoding consumers use (size/empty/iteration/
 /// indexing) without per-attempt allocation; push_back beyond capacity is
 /// the caller's bug (the error-check loop aborts an attempt *before*
-/// exceeding kMaxBlockOutliers).
+/// exceeding kMaxBlockOutliers) — Debug builds trap it.
 class OutlierList {
  public:
   constexpr uint32_t size() const { return n_; }
@@ -44,7 +46,10 @@ class OutlierList {
   constexpr bool full() const { return n_ == kMaxBlockOutliers; }
   constexpr void clear() { n_ = 0; }
 
-  constexpr void push_back(uint32_t bits) { v_[n_++] = bits; }
+  constexpr void push_back(uint32_t bits) {
+    assert(n_ < kMaxBlockOutliers && "OutlierList overflow: attempt not aborted");
+    v_[n_++] = bits;
+  }
   constexpr void assign(uint32_t n, uint32_t bits) {
     n_ = n;
     for (uint32_t i = 0; i < n; ++i) v_[i] = bits;
@@ -75,14 +80,17 @@ struct CompressedBlock {
   std::array<int32_t, kSummaryValues> summary{};  // Q16.16 raw, biased domain
   Bitmap256 outlier_map;
   OutlierList outliers;  // raw 32-bit images of outlier values
+  /// Lossless-exact tier only (method_is_exact): summed per-line encoded
+  /// bytes of the block's raw bit image. Lossy-tier encodings leave it 0 —
+  /// their size is a function of the outlier count alone.
+  uint32_t encoded_bytes = 0;
 
-  /// Number of 64 B cachelines the compressed image occupies (Sec. 3.1):
-  /// summary alone is 1 line; with outliers add the half-line bitmap plus
-  /// 4 B per outlier, rounded up to whole lines.
+  /// Number of 64 B cachelines the compressed image occupies, per the
+  /// method's tier-specific size model (avr/method.hh). Everything that
+  /// meters compressed space — CMT size fields, LLC free-space/eviction —
+  /// consumes this, so new methods only extend the size model.
   uint32_t lines() const {
-    if (outliers.empty()) return 1;
-    const uint64_t payload = kBitmapBytes + 4 * outliers.size();
-    return 1 + static_cast<uint32_t>((payload + kCachelineBytes - 1) / kCachelineBytes);
+    return method_lines(method, outliers.size(), encoded_bytes);
   }
 
   bool compressed() const { return method != Method::kUncompressed; }

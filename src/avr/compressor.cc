@@ -4,8 +4,10 @@
 
 #include "avr/bias.hh"
 #include "avr/downsample.hh"
+#include "avr/method.hh"
 #include "common/fp_bits.hh"
 #include "common/profile.hh"
+#include "lossless/bdi.hh"
 
 namespace avr {
 namespace {
@@ -174,6 +176,27 @@ std::optional<CompressionAttempt> Compressor::compress(
     if (scratch.best.block.lines() == 1 && scratch.best.block.outliers.empty())
       break;
   }
+
+  // Lossless-fallback tier: every enabled lossy variant blew the T1/T2
+  // outlier budget, so before leaving the block uncompressed, size its raw
+  // bit image under BDI. The encoding is exact — no summary, no outliers,
+  // identically zero error — so none of the stage 3-5 machinery runs; the
+  // only question is whether the encoded bytes fit the 8-line budget.
+  if (!have_best && cfg_.enable_bdi_hybrid) {
+    AVR_PROF_SCOPE(prof::Phase::kBdi);
+    const uint64_t bytes = lossless::encoded_bytes(std::as_bytes(vals));
+    CompressionAttempt& att = scratch.candidate;
+    att.block = CompressedBlock{};
+    att.block.method = Method::kBdiHybrid;
+    att.block.dtype = dtype;
+    att.block.encoded_bytes = static_cast<uint32_t>(bytes);
+    att.avg_error = 0.0;
+    if (att.block.lines() <= kMaxCompressedLines) {
+      scratch.best = att;
+      have_best = true;
+    }
+  }
+
   if (!have_best) return std::nullopt;
   return scratch.best;
 }
@@ -181,6 +204,10 @@ std::optional<CompressionAttempt> Compressor::compress(
 void Compressor::reconstruct(const CompressedBlock& cb,
                              std::span<float, kValuesPerBlock> out) const {
   AVR_PROF_SCOPE(prof::Phase::kCompress);
+  // Lossless-exact tier: the encoding stores no image (it is a size model
+  // over the raw bits), and reconstruction is the identity — the caller
+  // already holds the exact values, so there is nothing to overlay.
+  if (method_is_exact(cb.method)) return;
   std::array<Fixed32, kSummaryValues> avg;
   for (uint32_t k = 0; k < kSummaryValues; ++k) avg[k] = Fixed32::from_raw(cb.summary[k]);
 

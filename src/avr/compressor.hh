@@ -3,16 +3,23 @@
 //
 //   compress():  stage 1  bias exponents            (shared by all variants)
 //                stage 2  float -> Q16.16 batch     (shared by all variants)
-//                per variant from the method table:
+//                per lossy variant from the method table:
 //                stage 3  summarize (downsample)
 //                stage 4  reconstruct kernel        (same kernel the
 //                                                    decompressor runs)
 //                stage 5  integer-domain error check + incremental outlier
 //                         scan (aborts the variant the moment the outlier
 //                         budget is exceeded)
-//                pick the best passing variant.
+//                pick the best passing variant;
+//                fallback  when every lossy variant failed and
+//                          enable_bdi_hybrid is set, encode the raw bit
+//                          image losslessly with BDI (src/lossless) — an
+//                          exact encoding, so the error path of stages 3-5
+//                          short-circuits entirely.
 //   reconstruct(): summary -> table-driven fixed-point interpolation ->
 //                fixed-to-float -> unbias -> overlay outliers per bitmap.
+//                Lossless-exact encodings reconstruct to the stored image
+//                itself, so reconstruct() is a documented no-op for them.
 //
 // The class itself stays a pure function of its inputs (no architectural
 // state), so the LLC-side machinery can reuse one instance everywhere. All
@@ -21,9 +28,11 @@
 // scratch through every attempt, so a compression event performs zero heap
 // allocations.
 //
-// New methods plug in by adding a Method enum value, an AvrConfig enable
-// flag and a kMethodVariants row (e.g. a BDI-hybrid bridging src/lossless)
-// — compress() and its call sites are variant-agnostic.
+// The method layer is two-tiered (avr/method.hh): new *lossy* methods plug
+// in by adding a Method enum value, an AvrConfig enable flag and a
+// kMethodVariants row; new *lossless* methods add a fallback stage like the
+// BDI-hybrid's plus a size-model arm in method_lines(). compress()'s call
+// sites are method-agnostic either way — they consume lines() only.
 #pragma once
 
 #include <array>
@@ -57,10 +66,12 @@ struct CompressorScratch {
   CompressionAttempt best;
 };
 
-/// One row of the compression-method dispatch table: how to summarize a
+/// One row of the *lossy-tier* method dispatch table: how to summarize a
 /// fixed-point block and how to reconstruct it, plus the AvrConfig flag
 /// gating the variant. Table order is selection-preference order on ties
 /// (2D first, matching the hardware's preference for spatial locality).
+/// Lossless-exact methods have no row here — they carry no summary and
+/// reconstruct to the stored image itself (see the fallback stage above).
 struct MethodVariant {
   Method method;
   bool AvrConfig::*enabled;
@@ -84,7 +95,9 @@ class Compressor {
   /// Tries to compress a block of 256 values, reusing `scratch` for every
   /// intermediate buffer. Returns std::nullopt when no enabled variant
   /// meets the T1/T2 thresholds within 8 lines (the block then stays
-  /// uncompressed, Fig. 2b).
+  /// uncompressed, Fig. 2b) — unless cfg.enable_bdi_hybrid is set and the
+  /// raw bit image BDI-encodes within 8 lines, in which case the result is
+  /// an exact Method::kBdiHybrid encoding with avg_error == 0.
   std::optional<CompressionAttempt> compress(
       std::span<const float, kValuesPerBlock> vals, DType dtype,
       CompressorScratch& scratch) const;
@@ -99,7 +112,9 @@ class Compressor {
   }
 
   /// Reconstructs the approximate block values: interpolated summary with
-  /// outliers overlaid exactly.
+  /// outliers overlaid exactly. For lossless-exact encodings (BDI-hybrid)
+  /// this is a no-op: the caller's backing data IS the exact reconstruction
+  /// (nothing of the image is stored), so `out` is left untouched.
   void reconstruct(const CompressedBlock& cb,
                    std::span<float, kValuesPerBlock> out) const;
 

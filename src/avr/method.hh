@@ -1,0 +1,77 @@
+// The compression-method layer: which tier each Method belongs to and the
+// per-method size model.
+//
+// Methods come in two tiers:
+//   - *Lossy summary* methods (the paper's 1D/2D downsampling) encode a
+//     block as a 16-value summary plus an outlier bitmap and exactly-stored
+//     outliers; reconstruction is approximate and their size is a function
+//     of the outlier count.
+//   - *Lossless exact* methods (the BDI-hybrid extension) are size models
+//     over the block's raw bit image: reconstruction is the identity (the
+//     backing data IS the decoded block), and their size is the summed
+//     per-line encoded bytes.
+//
+// Everything downstream of the compressor — CMT line accounting, LLC
+// free-space and eviction logic — consumes only the line count this size
+// model produces, so a new method plugs in here (tier + size) plus either a
+// kMethodVariants row (lossy) or a Compressor::compress fallback stage
+// (lossless) without touching those layers.
+#pragma once
+
+#include "common/types.hh"
+
+namespace avr {
+
+inline constexpr uint32_t kSummaryValues = 16;  // 16:1 target over 256 values
+/// One bit per block value = 32 B = half a line (bitmap.hh's Bitmap256;
+/// compressed_block.hh asserts the two stay in sync).
+inline constexpr uint32_t kBitmapBytes = kValuesPerBlock / 8;
+
+/// Largest outlier count that still fits the 8-line budget:
+/// 7 lines * 64 B = 448 B minus the 32 B bitmap = 104 outliers.
+inline constexpr uint32_t kMaxBlockOutliers =
+    (7 * kCachelineBytes - kBitmapBytes) / 4;
+
+/// The two encoding families a Method can belong to (plus "none").
+enum class MethodTier : uint8_t {
+  kNone = 0,           // kUncompressed
+  kLossySummary = 1,   // summary + outliers, approximate reconstruction
+  kLosslessExact = 2,  // per-line size model, exact reconstruction
+};
+
+constexpr MethodTier method_tier(Method m) {
+  switch (m) {
+    case Method::kUncompressed: return MethodTier::kNone;
+    case Method::kDownsample1D:
+    case Method::kDownsample2D: return MethodTier::kLossySummary;
+    case Method::kBdiHybrid: return MethodTier::kLosslessExact;
+  }
+  return MethodTier::kNone;
+}
+
+/// True when reconstructing `m` reproduces the stored bits exactly — the
+/// error path short-circuits (no outliers, zero block error) and the
+/// functional datapath must NOT overwrite the backing store with a
+/// reconstruction (there is nothing to approximate).
+constexpr bool method_is_exact(Method m) {
+  return method_tier(m) == MethodTier::kLosslessExact;
+}
+
+/// Per-method size model: 64 B cachelines the compressed image occupies
+/// (Sec. 3.1 for the lossy tier). Lossy: summary alone is 1 line; with
+/// outliers add the half-line bitmap plus 4 B per outlier, rounded up to
+/// whole lines. Lossless exact: the summed per-line encoded bytes, rounded
+/// up to whole lines (never 0 — a block occupies at least one line).
+constexpr uint32_t method_lines(Method m, uint32_t outlier_count,
+                                uint32_t encoded_bytes) {
+  if (method_tier(m) == MethodTier::kLosslessExact) {
+    const uint32_t lines = static_cast<uint32_t>(
+        (encoded_bytes + kCachelineBytes - 1) / kCachelineBytes);
+    return lines > 0 ? lines : 1;
+  }
+  if (outlier_count == 0) return 1;
+  const uint64_t payload = kBitmapBytes + 4 * static_cast<uint64_t>(outlier_count);
+  return 1 + static_cast<uint32_t>((payload + kCachelineBytes - 1) / kCachelineBytes);
+}
+
+}  // namespace avr

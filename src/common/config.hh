@@ -53,6 +53,12 @@ struct AvrConfig {
   int32_t t1_override = -1;
   bool enable_1d = true;
   bool enable_2d = true;
+  // Lossless-fallback tier (extension design point, not in the paper): when
+  // every enabled lossy variant blows the T1/T2 outlier budget, try BDI
+  // (src/lossless) over the block's raw bit image before giving up. BDI
+  // reconstruction is exact, so enabling it never adds approximation error —
+  // it only converts would-be-uncompressed blocks into compressed ones.
+  bool enable_bdi_hybrid = false;
   bool enable_lazy_eviction = true;
   bool enable_failure_history = true;
   bool enable_pfe = true;
@@ -148,11 +154,14 @@ inline uint64_t config_fingerprint(const SimConfig& c) {
     fold(0x7431);  // 't1' marker
     fold(static_cast<uint64_t>(c.avr.t1_override));
   }
+  // enable_bdi_hybrid defaults to false, so folding it as a fresh bit keeps
+  // every pre-existing configuration's fingerprint (and result cache) valid.
   fold(static_cast<uint64_t>(c.avr.enable_1d) << 0 |
        static_cast<uint64_t>(c.avr.enable_2d) << 1 |
        static_cast<uint64_t>(c.avr.enable_lazy_eviction) << 2 |
        static_cast<uint64_t>(c.avr.enable_failure_history) << 3 |
-       static_cast<uint64_t>(c.avr.enable_pfe) << 4);
+       static_cast<uint64_t>(c.avr.enable_pfe) << 4 |
+       static_cast<uint64_t>(c.avr.enable_bdi_hybrid) << 5);
   fold(c.avr.pfe_threshold);
   fold(c.avr.compress_latency);
   fold(c.avr.decompress_latency);

@@ -12,7 +12,7 @@ namespace prof {
 namespace {
 
 constexpr const char* kPhaseNames[kNumPhases] = {
-    "setup", "functional", "timing", "compress", "cache_io"};
+    "setup", "functional", "timing", "compress", "cache_io", "bdi"};
 constexpr const char* kCounterNames[kNumCounters] = {
     "points_simulated", "cache_hits",       "cache_appends",
     "claims_won",       "claims_reclaimed", "claims_lost"};

@@ -47,8 +47,9 @@ enum class Phase : uint32_t {
   kTiming,       // the timing simulation: run + output + finish
   kCompress,     // Compressor::compress/reconstruct (inside kTiming)
   kCacheIo,      // result-cache file I/O: loads, appends, claim records
+  kBdi,          // lossless-fallback BDI encode (inside kCompress)
 };
-inline constexpr size_t kNumPhases = 5;
+inline constexpr size_t kNumPhases = 6;
 
 /// Event counters the harness bumps alongside the timers.
 enum class Counter : uint32_t {

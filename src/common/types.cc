@@ -18,6 +18,7 @@ const char* to_string(Method m) {
     case Method::kUncompressed: return "uncompressed";
     case Method::kDownsample1D: return "ds1d";
     case Method::kDownsample2D: return "ds2d";
+    case Method::kBdiHybrid: return "bdi";
   }
   return "?";
 }

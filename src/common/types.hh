@@ -41,11 +41,16 @@ enum class DType : uint8_t {
   kFixed32 = 1,  // Q16.16 two's-complement fixed point
 };
 
-/// Compression method recorded in the CMT (2-bit field, Fig. 3).
+/// Compression method recorded in the CMT (2-bit field, Fig. 3). The first
+/// three values are the paper's; kBdiHybrid is the extension design point:
+/// lossless base-delta-immediate fallback when a block blows the lossy
+/// outlier budget (avr/method.hh maps each method to its tier and size
+/// model). Four values fill the 2-bit field exactly.
 enum class Method : uint8_t {
   kUncompressed = 0,
   kDownsample1D = 1,  // block treated as a 256-entry linear array
   kDownsample2D = 2,  // block treated as a 16x16 square array
+  kBdiHybrid = 3,     // lossless BDI image (src/lossless), exact reconstruction
 };
 
 /// The design points evaluated in Sec. 4.

@@ -80,11 +80,20 @@ std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s) {
 std::vector<VariantPoint> full_variant_grid(
     const std::vector<int>& t1_values, const std::vector<std::string>& workloads,
     const std::vector<Design>& designs) {
+  return full_variant_grid(t1_values, {kMethodsDefault}, workloads, designs);
+}
+
+std::vector<VariantPoint> full_variant_grid(
+    const std::vector<int>& t1_values, const std::vector<int>& methods_values,
+    const std::vector<std::string>& workloads,
+    const std::vector<Design>& designs) {
   std::vector<VariantPoint> grid;
-  grid.reserve(t1_values.size() * workloads.size() * designs.size());
-  for (int t1 : t1_values)
-    for (const auto& w : workloads)
-      for (Design d : designs) grid.push_back({t1, {w, d}});
+  grid.reserve(methods_values.size() * t1_values.size() * workloads.size() *
+               designs.size());
+  for (int methods : methods_values)
+    for (int t1 : t1_values)
+      for (const auto& w : workloads)
+        for (Design d : designs) grid.push_back({t1, {w, d}, methods});
   return grid;
 }
 
@@ -96,10 +105,60 @@ std::vector<VariantPoint> shard_slice(const std::vector<VariantPoint>& grid,
   return slice;
 }
 
-SimConfig variant_config(int t1) {
+SimConfig variant_config(int t1, int methods) {
   SimConfig cfg;
   cfg.avr.t1_override = t1 < 0 ? -1 : t1;
+  if (methods >= 0) {
+    cfg.avr.enable_1d = (methods & kMethods1D) != 0;
+    cfg.avr.enable_2d = (methods & kMethods2D) != 0;
+    cfg.avr.enable_bdi_hybrid = (methods & kMethodsBdi) != 0;
+  }
   return cfg;
+}
+
+std::vector<int> parse_methods_list(const std::string& csv) {
+  if (csv.empty()) return {kMethodsDefault};
+  std::vector<int> out;
+  for (const auto& sel : split_csv(csv)) {
+    int mask = 0;
+    size_t start = 0;
+    while (start <= sel.size()) {
+      const size_t plus = sel.find('+', start);
+      const size_t end = plus == std::string::npos ? sel.size() : plus;
+      const std::string tok = lower(sel.substr(start, end - start));
+      if (tok == "1d")
+        mask |= kMethods1D;
+      else if (tok == "2d")
+        mask |= kMethods2D;
+      else if (tok == "bdi")
+        mask |= kMethodsBdi;
+      else if (tok == "avr")  // the paper's lossy pair
+        mask |= kMethods1D | kMethods2D;
+      else
+        throw std::invalid_argument(
+            "bad --methods token '" + tok + "' in '" + sel +
+            "' (want '+'-joined 1d/2d/bdi/avr, e.g. avr+bdi)");
+      if (plus == std::string::npos) break;
+      start = plus + 1;
+    }
+    if (mask == 0) throw std::invalid_argument("empty --methods selection");
+    out.push_back(mask);
+  }
+  if (out.empty()) throw std::invalid_argument("empty --methods list");
+  return out;
+}
+
+std::string method_set_name(int methods) {
+  if (methods < 0) return "default";
+  std::string name;
+  auto append = [&name](const char* tok) {
+    if (!name.empty()) name += '+';
+    name += tok;
+  };
+  if (methods & kMethods1D) append("1d");
+  if (methods & kMethods2D) append("2d");
+  if (methods & kMethodsBdi) append("bdi");
+  return name;
 }
 
 std::vector<int> parse_t1_list(const std::string& csv) {
@@ -159,7 +218,7 @@ std::vector<std::string> parse_workload_list(const std::string& csv) {
 
 StealOutcome run_work_stealing(
     const std::vector<VariantPoint>& grid,
-    const std::function<ExperimentRunner&(int t1)>& runner_for,
+    const std::function<ExperimentRunner&(const VariantPoint&)>& runner_for,
     const std::string& cache_path, const StealOptions& opts,
     unsigned n_threads) {
   if (cache_path.empty())
@@ -177,7 +236,7 @@ StealOutcome run_work_stealing(
   std::vector<double> cost(n);
   std::vector<uint64_t> lease(n);
   for (size_t i = 0; i < n; ++i) {
-    runner[i] = &runner_for(grid[i].t1);
+    runner[i] = &runner_for(grid[i]);
     cost[i] = runner[i]->cost_estimate(grid[i].point.first, grid[i].point.second);
     lease[i] = opts.lease_seconds
                    ? opts.lease_seconds

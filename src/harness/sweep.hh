@@ -41,13 +41,23 @@ struct Shard {
 
 using Point = std::pair<std::string, Design>;
 
-/// One point of a (config, workload, design) grid: the config axis is the
-/// forced T1 threshold (t1 == -1 means the default per-workload
-/// thresholds). Records of different t1 values carry different v3 config
-/// fingerprints, so one cache file holds the whole variant grid.
+/// Method-selection bitmask values for the --methods config axis: which
+/// compression methods variant_config() enables. -1 (kMethodsDefault) keeps
+/// the default configuration's flags (1D+2D lossy, BDI-hybrid off).
+inline constexpr int kMethodsDefault = -1;
+inline constexpr int kMethods1D = 1;   // AvrConfig::enable_1d
+inline constexpr int kMethods2D = 2;   // AvrConfig::enable_2d
+inline constexpr int kMethodsBdi = 4;  // AvrConfig::enable_bdi_hybrid
+
+/// One point of a (config x workload x design) grid: the config axes are
+/// the forced T1 threshold (t1 == -1 means the default per-workload
+/// thresholds) and the method-selection mask (methods == -1 means the
+/// default method set). Records of different variants carry different v3
+/// config fingerprints, so one cache file holds the whole variant grid.
 struct VariantPoint {
   int t1 = -1;
   Point point;
+  int methods = kMethodsDefault;
 
   bool operator==(const VariantPoint&) const = default;
   auto operator<=>(const VariantPoint&) const = default;
@@ -67,20 +77,41 @@ std::vector<VariantPoint> full_variant_grid(
     const std::vector<int>& t1_values, const std::vector<std::string>& workloads,
     const std::vector<Design>& designs);
 
+/// Full (methods x t1 x workload x design) cross product: methods-major,
+/// then t1-major, then the canonical workload-major order. The default axes
+/// ({-1}, {-1}) reproduce the historical grid point-for-point.
+std::vector<VariantPoint> full_variant_grid(
+    const std::vector<int>& t1_values, const std::vector<int>& methods_values,
+    const std::vector<std::string>& workloads,
+    const std::vector<Design>& designs);
+
 /// The points shard `s` owns, in canonical order.
 std::vector<Point> shard_slice(const std::vector<Point>& grid, Shard s);
 std::vector<VariantPoint> shard_slice(const std::vector<VariantPoint>& grid,
                                       Shard s);
 
-/// The base SimConfig simulating variant `t1`: default except
-/// avr.t1_override (see AvrConfig::t1_override). t1 == -1 is exactly the
-/// default config, fingerprint included.
-SimConfig variant_config(int t1);
+/// The base SimConfig simulating variant (`t1`, `methods`): default except
+/// avr.t1_override (see AvrConfig::t1_override) and — when methods >= 0 —
+/// the three method-enable flags set from the kMethods* mask. The default
+/// axes (-1, -1) are exactly the default config, fingerprint included; so
+/// is the mask that spells out the default method set (1d+2d, no BDI).
+SimConfig variant_config(int t1, int methods = kMethodsDefault);
 
 /// Comma-separated list of T1 mantissa-msbit indices (e.g. "4,6,8");
 /// "" yields {-1}, the default per-workload-threshold grid. Throws
 /// std::invalid_argument for non-numeric or out-of-range (0..22) entries.
 std::vector<int> parse_t1_list(const std::string& csv);
+
+/// Comma-separated list of method selections, each a '+'-joined set of
+/// tokens "1d", "2d", "bdi" or the alias "avr" (= 1d+2d): e.g.
+/// "avr,avr+bdi" sweeps the default lossy pair against the BDI-hybrid.
+/// "" yields {kMethodsDefault}. Throws std::invalid_argument for unknown
+/// tokens or an empty selection.
+std::vector<int> parse_methods_list(const std::string& csv);
+
+/// Canonical display name of a selection mask: "default" for
+/// kMethodsDefault, else the '+'-joined enabled tokens (e.g. "1d+2d+bdi").
+std::string method_set_name(int methods);
 
 /// Parses one design name as printed by to_string(Design) —
 /// "baseline", "dganger", "truncate", "ZeroAVR", "AVR" — case-insensitively.
@@ -125,15 +156,16 @@ struct StealOutcome {
 /// hardware concurrency) repeatedly scans the remaining points in
 /// descending cost_estimate order, stakes a claim through the cache flock
 /// (result_cache.hh), and simulates the points it wins via
-/// `runner_for(t1)` — which must return, for each t1 value in the grid, a
-/// runner writing to `cache_path` (the same runner every call). Returns
+/// `runner_for(vp)` — which must return, for each (t1, methods) variant in
+/// the grid, a runner writing to `cache_path` (the same runner every
+/// call; vp.point is irrelevant to the lookup). Returns
 /// once *every* point has a result, whether produced here or by another
 /// process; a process that finishes early keeps polling (poll_seconds) and
 /// reclaims expired claims, so a SIGKILLed peer's points are picked up
 /// automatically. Throws on cache I/O failure or a simulation error.
 StealOutcome run_work_stealing(
     const std::vector<VariantPoint>& grid,
-    const std::function<ExperimentRunner&(int t1)>& runner_for,
+    const std::function<ExperimentRunner&(const VariantPoint&)>& runner_for,
     const std::string& cache_path, const StealOptions& opts,
     unsigned n_threads = 0);
 

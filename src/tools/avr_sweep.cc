@@ -55,6 +55,12 @@ the shared CSV cache. Exits nonzero if any point fails.
                      carry each variant's config fingerprint, so variants
                      coexist in one cache file). Default: the per-workload
                      paper thresholds only.
+  --methods m[,m...] config axis: sweep method selections, each a '+'-joined
+                     set of 1d, 2d, bdi or the alias avr (= 1d+2d): e.g.
+                     "avr,avr+bdi" compares the paper's lossy pair against
+                     the BDI-hybrid fallback. Like --t1, each selection is a
+                     config-fingerprint variant in the shared cache.
+                     Default: the default method set (1d+2d, BDI off).
   --cache path       result cache file (default: avr_results_cache.csv or
                      $AVR_RESULT_CACHE); "" disables persistence
   --profile          print the per-phase profile summary table on exit
@@ -81,6 +87,7 @@ struct Options {
   std::vector<std::string> workloads;
   std::vector<avr::Design> designs;
   std::vector<int> t1_values{-1};
+  std::vector<int> methods_values{avr::sweep::kMethodsDefault};
   std::string cache_path = avr::ExperimentRunner::default_cache_path();
   std::string assert_same_path;
   std::string profile_out;
@@ -138,6 +145,8 @@ Options parse_args(int argc, char** argv) {
       o.designs = avr::sweep::parse_design_list(value(i, "--designs"));
     } else if (a == "--t1") {
       o.t1_values = avr::sweep::parse_t1_list(value(i, "--t1"));
+    } else if (a == "--methods") {
+      o.methods_values = avr::sweep::parse_methods_list(value(i, "--methods"));
     } else if (a == "--cache") {
       o.cache_path = value(i, "--cache");
     } else if (a == "--assert-same") {
@@ -174,20 +183,35 @@ bool same_metrics(avr::ExperimentResult a, avr::ExperimentResult b) {
   return avr::encode_result_line(a) == avr::encode_result_line(b);
 }
 
+/// A (t1, methods) config variant — the key every per-variant structure
+/// (runner map, coverage groups) is indexed by.
+using Variant = std::pair<int, int>;
+
 /// Coverage and identity checks must see only records simulated under the
 /// variant being checked: the shared cache file may hold records for the
-/// same (workload, design) keys under other fingerprints (ablation or --t1
-/// variants), which would otherwise shadow the grid's records in the
-/// loaded map. t1 == -1 is the default configuration.
-uint64_t variant_fingerprint(int t1) {
-  return avr::config_fingerprint(avr::sweep::variant_config(t1));
+/// same (workload, design) keys under other fingerprints (ablation, --t1
+/// or --methods variants), which would otherwise shadow the grid's records
+/// in the loaded map. (-1, -1) is the default configuration.
+uint64_t variant_fingerprint(Variant v) {
+  return avr::config_fingerprint(avr::sweep::variant_config(v.first, v.second));
 }
 
-/// The slice grouped by t1 variant, preserving point order within a group.
-std::map<int, std::vector<avr::sweep::Point>> by_variant(
+/// "(t1=6, methods=avr+bdi)" suffix for diagnostics; "" for the default
+/// variant, matching the historical message format.
+std::string variant_suffix(Variant v) {
+  std::string s;
+  if (v.first >= 0) s += " t1=" + std::to_string(v.first);
+  if (v.second >= 0) s += " methods=" + avr::sweep::method_set_name(v.second);
+  return s.empty() ? s : " (" + s.substr(1) + ")";
+}
+
+/// The slice grouped by (t1, methods) variant, preserving point order
+/// within a group.
+std::map<Variant, std::vector<avr::sweep::Point>> by_variant(
     const std::vector<avr::sweep::VariantPoint>& slice) {
-  std::map<int, std::vector<avr::sweep::Point>> groups;
-  for (const auto& vp : slice) groups[vp.t1].push_back(vp.point);
+  std::map<Variant, std::vector<avr::sweep::Point>> groups;
+  for (const auto& vp : slice)
+    groups[{vp.t1, vp.methods}].push_back(vp.point);
   return groups;
 }
 
@@ -200,8 +224,8 @@ int check_coverage(const Options& o,
   // this check passing).
   size_t claims = 0, dangling = 0;
   const uint64_t now = static_cast<uint64_t>(std::time(nullptr));
-  for (const auto& [t1, points] : by_variant(slice)) {
-    const uint64_t fp = variant_fingerprint(t1);
+  for (const auto& [variant, points] : by_variant(slice)) {
+    const uint64_t fp = variant_fingerprint(variant);
     const auto cache = avr::load_result_cache(o.cache_path, fp);
     for (const auto& [key, c] : avr::load_claims(o.cache_path, fp)) {
       ++claims;
@@ -213,12 +237,8 @@ int check_coverage(const Options& o,
     }
     for (const auto& p : points) {
       if (!cache.count(p)) {
-        if (t1 < 0)
-          std::fprintf(stderr, "missing: %s x %s\n", p.first.c_str(),
-                       avr::to_string(p.second));
-        else
-          std::fprintf(stderr, "missing: %s x %s (t1=%d)\n", p.first.c_str(),
-                       avr::to_string(p.second), t1);
+        std::fprintf(stderr, "missing: %s x %s%s\n", p.first.c_str(),
+                     avr::to_string(p.second), variant_suffix(variant).c_str());
         ++missing;
       }
     }
@@ -238,8 +258,11 @@ int check_coverage(const Options& o,
 
 int check_same(const Options& o) {
   size_t differences = 0, compared = 0;
-  for (int t1 : o.t1_values) {
-    const uint64_t fp = variant_fingerprint(t1);
+  std::vector<Variant> variants;
+  for (int methods : o.methods_values)
+    for (int t1 : o.t1_values) variants.push_back({t1, methods});
+  for (const Variant& variant : variants) {
+    const uint64_t fp = variant_fingerprint(variant);
     const auto a = avr::load_result_cache(o.cache_path, fp);
     const auto b = avr::load_result_cache(o.assert_same_path, fp);
     // A missing or record-free file would make the comparison vacuously
@@ -293,35 +316,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The (t1 x workload x design) variant grid; the default --t1 list {-1}
-  // makes it exactly the historical (workload x design) grid. In claim mode
-  // every process works the full grid — the claims do the splitting.
-  const auto grid = sweep::full_variant_grid(o.t1_values, o.workloads, o.designs);
+  // The (methods x t1 x workload x design) variant grid; the default --t1
+  // and --methods lists ({-1} each) make it exactly the historical
+  // (workload x design) grid. In claim mode every process works the full
+  // grid — the claims do the splitting.
+  const auto grid = sweep::full_variant_grid(o.t1_values, o.methods_values,
+                                             o.workloads, o.designs);
   const auto slice = o.claim ? grid : sweep::shard_slice(grid, o.shard);
   const bool t1_axis = o.t1_values.size() > 1 || o.t1_values[0] >= 0;
+  const bool methods_axis =
+      o.methods_values.size() > 1 || o.methods_values[0] >= 0;
 
   if (o.list) {
-    for (const auto& [t1, p] : slice) {
-      if (t1_axis)
-        std::printf("%d,%s,%s\n", t1, p.first.c_str(), to_string(p.second));
-      else
-        std::printf("%s,%s\n", p.first.c_str(), to_string(p.second));
+    for (const auto& [t1, p, methods] : slice) {
+      if (methods_axis)
+        std::printf("%s,", sweep::method_set_name(methods).c_str());
+      if (t1_axis || methods_axis) std::printf("%d,", t1);
+      std::printf("%s,%s\n", p.first.c_str(), to_string(p.second));
     }
     return 0;
   }
   if (o.check) return check_coverage(o, slice);
   if (o.assert_same) return check_same(o);
 
-  // One runner per t1 variant in this slice: each loads and appends only
-  // records carrying its own config fingerprint, so all variants share the
-  // one cache file.
+  // One runner per (t1, methods) variant in this slice: each loads and
+  // appends only records carrying its own config fingerprint, so all
+  // variants share the one cache file.
   const auto groups = by_variant(slice);
   size_t warm = 0;
-  std::vector<std::pair<int, std::unique_ptr<ExperimentRunner>>> runners;
-  for (const auto& [t1, points] : groups) {
-    runners.emplace_back(t1, std::make_unique<ExperimentRunner>(
-                                 sweep::variant_config(t1), /*verbose=*/!o.quiet,
-                                 o.cache_path));
+  std::vector<std::pair<Variant, std::unique_ptr<ExperimentRunner>>> runners;
+  for (const auto& [variant, points] : groups) {
+    runners.emplace_back(
+        variant, std::make_unique<ExperimentRunner>(
+                     sweep::variant_config(variant.first, variant.second),
+                     /*verbose=*/!o.quiet, o.cache_path));
     for (const auto& [w, d] : points)
       if (runners.back().second->cached(w, d)) ++warm;
   }
@@ -345,19 +373,22 @@ int main(int argc, char** argv) {
   sweep::StealOutcome steal;
   try {
     if (o.claim) {
-      std::map<int, ExperimentRunner*> rmap;
-      for (auto& [t1, runner] : runners) rmap[t1] = runner.get();
+      std::map<Variant, ExperimentRunner*> rmap;
+      for (auto& [variant, runner] : runners) rmap[variant] = runner.get();
       sweep::StealOptions so;
       so.owner = o.owner;
       so.lease_seconds = o.claim_lease;
       steal = sweep::run_work_stealing(
-          grid, [&](int t1) -> ExperimentRunner& { return *rmap.at(t1); },
+          grid,
+          [&](const sweep::VariantPoint& vp) -> ExperimentRunner& {
+            return *rmap.at({vp.t1, vp.methods});
+          },
           o.cache_path, so, o.jobs);
-      for (auto& [t1, runner] : runners)
+      for (auto& [variant, runner] : runners)
         write_failures += runner->disk_write_failures();
     } else {
-      for (auto& [t1, runner] : runners) {
-        runner->run_points(groups.at(t1), o.jobs);
+      for (auto& [variant, runner] : runners) {
+        runner->run_points(groups.at(variant), o.jobs);
         write_failures += runner->disk_write_failures();
       }
     }
@@ -385,7 +416,7 @@ int main(int argc, char** argv) {
   report.mode = o.claim ? "claim" : "shard";
   report.wall_seconds = secs;
   report.aggregate = steal.sched;
-  for (auto& [t1, runner] : runners) {
+  for (auto& [variant, runner] : runners) {
     report.aggregate.merge(runner->profile_totals());
     auto pts = runner->profile_points();
     report.points.insert(report.points.end(),

@@ -1,0 +1,237 @@
+// The two-tier compression-method layer: per-method size model, the
+// lossless BDI-hybrid fallback stage, and the exactness guarantees the
+// exact tier carries (reconstructed bits identical to the input, all the
+// way through the AvrSystem functional datapath).
+#include "avr/method.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "avr/avr_system.hh"
+#include "avr/compressor.hh"
+#include "common/prng.hh"
+
+namespace avr {
+namespace {
+
+TEST(MethodLayer, TierMapping) {
+  EXPECT_EQ(method_tier(Method::kUncompressed), MethodTier::kNone);
+  EXPECT_EQ(method_tier(Method::kDownsample1D), MethodTier::kLossySummary);
+  EXPECT_EQ(method_tier(Method::kDownsample2D), MethodTier::kLossySummary);
+  EXPECT_EQ(method_tier(Method::kBdiHybrid), MethodTier::kLosslessExact);
+  EXPECT_FALSE(method_is_exact(Method::kDownsample2D));
+  EXPECT_TRUE(method_is_exact(Method::kBdiHybrid));
+}
+
+TEST(MethodLayer, LossySizeModelMatchesLegacyFormula) {
+  // The refactor moved the bitmap+outlier formula out of CompressedBlock;
+  // the model must reproduce it for every legal outlier count.
+  for (uint32_t n = 0; n <= kMaxBlockOutliers; ++n) {
+    uint32_t expect;
+    if (n == 0) {
+      expect = 1;
+    } else {
+      const uint64_t payload = kBitmapBytes + 4 * n;
+      expect = 1 + static_cast<uint32_t>((payload + kCachelineBytes - 1) /
+                                         kCachelineBytes);
+    }
+    EXPECT_EQ(method_lines(Method::kDownsample1D, n, 0), expect) << n;
+    EXPECT_EQ(method_lines(Method::kDownsample2D, n, 0), expect) << n;
+  }
+  // The budget boundary the outlier cap encodes: 104 outliers fit 8 lines.
+  EXPECT_EQ(method_lines(Method::kDownsample1D, kMaxBlockOutliers, 0),
+            kMaxCompressedLines);
+}
+
+TEST(MethodLayer, ExactSizeModelRoundsEncodedBytesUpToLines) {
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 0, 1), 1u);    // never 0 lines
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 0, 64), 1u);
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 0, 65), 2u);
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 0, 512), 8u);
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 0, 513), 9u);  // over budget
+  // The exact tier ignores the outlier count entirely.
+  EXPECT_EQ(method_lines(Method::kBdiHybrid, 99, 128), 2u);
+}
+
+TEST(MethodLayer, CompressedBlockLinesDelegatesToModel) {
+  CompressedBlock cb;
+  cb.method = Method::kDownsample2D;
+  EXPECT_EQ(cb.lines(), 1u);
+  cb.outlier_map.set(0);
+  cb.outliers.push_back(0x12345678);
+  EXPECT_EQ(cb.lines(), 2u);  // bitmap + 1 outlier rounds up to one extra line
+
+  CompressedBlock bdi;
+  bdi.method = Method::kBdiHybrid;
+  bdi.encoded_bytes = 130;
+  EXPECT_EQ(bdi.lines(), 3u);
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(MethodLayer, OutlierListOverflowTrapsInDebug) {
+  // The header calls push_back beyond capacity "the caller's bug"; Debug
+  // builds must trap it instead of silently corrupting the neighbours.
+  EXPECT_DEATH(
+      {
+        OutlierList list;
+        for (uint32_t i = 0; i <= kMaxBlockOutliers; ++i) list.push_back(i);
+      },
+      "OutlierList overflow");
+}
+#endif
+
+// ---- the BDI-hybrid fallback stage ----------------------------------------
+
+/// AVR-hostile, BDI-friendly block: alternating distant magnitudes make
+/// nearly every value a lossy outlier (far beyond the 104 budget), while
+/// the raw bytes of every 64 B line are one repeated 8-byte pattern
+/// (BDI kRepeated: 8 encoded bytes per line, 128 per block = 2 lines).
+std::array<float, kValuesPerBlock> hostile_bdi_friendly() {
+  std::array<float, kValuesPerBlock> vals;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    vals[i] = (i % 2) ? 1.0e10f : 1.0f;
+  return vals;
+}
+
+/// AVR-hostile AND BDI-hostile: full-range random bits in every word.
+std::array<float, kValuesPerBlock> hostile_everywhere() {
+  Xoshiro256 rng(77);
+  std::array<float, kValuesPerBlock> vals;
+  for (auto& v : vals) v = static_cast<float>(rng.uniform(-1e6, 1e6));
+  return vals;
+}
+
+TEST(BdiHybrid, DisabledFlagLeavesHostileBlockUncompressed) {
+  const Compressor comp{AvrConfig{}};  // enable_bdi_hybrid defaults to false
+  EXPECT_FALSE(comp.compress(hostile_bdi_friendly()).has_value());
+}
+
+TEST(BdiHybrid, FallbackEncodesHostileBlockExactly) {
+  AvrConfig cfg;
+  cfg.enable_bdi_hybrid = true;
+  const Compressor comp(cfg);
+  const auto att = comp.compress(hostile_bdi_friendly());
+  ASSERT_TRUE(att.has_value());
+  EXPECT_EQ(att->block.method, Method::kBdiHybrid);
+  EXPECT_EQ(att->block.encoded_bytes, 8u * kBlockLines);  // repeated lines
+  EXPECT_EQ(att->block.lines(), 2u);
+  EXPECT_EQ(att->avg_error, 0.0);  // exact: the error path short-circuits
+  EXPECT_TRUE(att->block.outliers.empty());
+}
+
+TEST(BdiHybrid, FallbackRespectsTheLineBudget) {
+  AvrConfig cfg;
+  cfg.enable_bdi_hybrid = true;
+  const Compressor comp(cfg);
+  // Random bits: BDI leaves every line at 64 B -> 16 lines > 8, so the
+  // fallback must decline and the block stays uncompressed.
+  EXPECT_FALSE(comp.compress(hostile_everywhere()).has_value());
+}
+
+TEST(BdiHybrid, LossySuccessIgnoresTheFallback) {
+  // A smooth block compresses losslessly^Wlossily as before: enabling the
+  // fallback must not change the chosen encoding in any way.
+  std::array<float, kValuesPerBlock> vals;
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
+    vals[i] = 50.0f + 0.05f * static_cast<float>(i % 16);
+  AvrConfig on;
+  on.enable_bdi_hybrid = true;
+  const auto a = Compressor(AvrConfig{}).compress(vals);
+  const auto b = Compressor(on).compress(vals);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->block.method, b->block.method);
+  EXPECT_EQ(a->block.lines(), b->block.lines());
+  EXPECT_EQ(a->block.summary, b->block.summary);
+  EXPECT_EQ(a->avg_error, b->avg_error);
+}
+
+TEST(BdiHybrid, ReconstructIsANoOpForExactEncodings) {
+  AvrConfig cfg;
+  cfg.enable_bdi_hybrid = true;
+  const Compressor comp(cfg);
+  const auto vals = hostile_bdi_friendly();
+  const auto att = comp.compress(vals);
+  ASSERT_TRUE(att.has_value());
+  ASSERT_EQ(att->block.method, Method::kBdiHybrid);
+  // The caller's buffer IS the exact reconstruction: reconstruct() must
+  // leave it untouched (sentinels survive).
+  std::array<float, kValuesPerBlock> out;
+  out.fill(-123.25f);
+  comp.reconstruct(att->block, out);
+  for (const float v : out) ASSERT_EQ(v, -123.25f);
+}
+
+// ---- round-trip exactness through the full AvrSystem datapath --------------
+
+TEST(BdiHybrid, SystemRoundTripIsBitIdentical) {
+  SimConfig cfg;
+  cfg.llc = {16 * 1024, 8, 15};  // tiny LLC: evictions come fast
+  cfg.avr.enable_bdi_hybrid = true;
+  RegionRegistry regions;
+  AvrSystem sys(cfg, regions);
+  const uint64_t approx = regions.allocate("approx", 64 * kBlockBytes, true);
+  const uint64_t exact = regions.allocate("exact", 64 * kBlockBytes, false);
+
+  // Hostile-but-BDI-friendly data in the first block; keep the pre-image.
+  const auto vals = hostile_bdi_friendly();
+  {
+    auto block_vals = regions.block_values(approx);
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i) block_vals[i] = vals[i];
+  }
+
+  // Touch every line dirty, then stream far data to force the eviction
+  // (and with it the compression event) through Fig. 8's flow.
+  for (uint32_t i = 0; i < kBlockLines; ++i)
+    sys.request(0, approx + i * kCachelineBytes, true);
+  for (uint64_t i = 0; i < 1024; ++i)
+    sys.request(0, exact + (i * 64) % (48 * kBlockBytes), true);
+
+  // The fallback tier won the block: compressed via BDI at 2 lines...
+  EXPECT_GT(sys.counters().blocks_bdi, 0u);
+  const BlockMeta* m = sys.cmt().peek(approx);
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->compressed());
+  EXPECT_EQ(m->method, Method::kBdiHybrid);
+  EXPECT_EQ(m->size_lines, 2u);
+
+  // ...and the backing store still holds the input bits exactly: unlike the
+  // lossy tier, compression did NOT replace values with a reconstruction.
+  auto block_vals = regions.block_values(approx);
+  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
+    uint32_t got, want;
+    std::memcpy(&got, &block_vals[i], 4);
+    std::memcpy(&want, &vals[i], 4);
+    ASSERT_EQ(got, want) << "value " << i;
+  }
+}
+
+TEST(BdiHybrid, SystemSurfacesMethodHistogramOnlyWhenEnabled) {
+  RegionRegistry regions;
+  SimConfig off;
+  off.llc = {16 * 1024, 8, 15};
+  const AvrSystem sys_off(off, regions);
+  EXPECT_EQ(sys_off.stats().get("blocks_bdi"), 0u);
+
+  SimConfig on = off;
+  on.avr.enable_bdi_hybrid = true;
+  RegionRegistry regions2;
+  AvrSystem sys_on(on, regions2);
+  const uint64_t approx = regions2.allocate("a", 64 * kBlockBytes, true);
+  const uint64_t exact = regions2.allocate("e", 64 * kBlockBytes, false);
+  {
+    const auto vals = hostile_bdi_friendly();
+    auto bv = regions2.block_values(approx);
+    for (uint32_t i = 0; i < kValuesPerBlock; ++i) bv[i] = vals[i];
+  }
+  for (uint32_t i = 0; i < kBlockLines; ++i)
+    sys_on.request(0, approx + i * kCachelineBytes, true);
+  for (uint64_t i = 0; i < 1024; ++i)
+    sys_on.request(0, exact + (i * 64) % (48 * kBlockBytes), true);
+  EXPECT_GT(sys_on.stats().get("blocks_bdi"), 0u);
+}
+
+}  // namespace
+}  // namespace avr

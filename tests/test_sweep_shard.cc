@@ -129,6 +129,74 @@ TEST(SweepShard, ParseT1List) {
     EXPECT_THROW(sweep::parse_t1_list(bad), std::invalid_argument) << bad;
 }
 
+TEST(SweepShard, ParseMethodsList) {
+  using namespace sweep;
+  EXPECT_EQ(parse_methods_list(""), (std::vector<int>{kMethodsDefault}));
+  EXPECT_EQ(parse_methods_list("1d"), (std::vector<int>{kMethods1D}));
+  EXPECT_EQ(parse_methods_list("bdi"), (std::vector<int>{kMethodsBdi}));
+  // "avr" is shorthand for the paper's full lossy table (1d+2d).
+  EXPECT_EQ(parse_methods_list("avr"), (std::vector<int>{kMethods1D | kMethods2D}));
+  EXPECT_EQ(parse_methods_list("avr+bdi"),
+            (std::vector<int>{kMethods1D | kMethods2D | kMethodsBdi}));
+  EXPECT_EQ(parse_methods_list("1d,avr+bdi"),
+            (std::vector<int>{kMethods1D, kMethods1D | kMethods2D | kMethodsBdi}));
+  // Empty CSV fields are skipped (same lenience as --t1), but an empty
+  // '+'-joined token inside a selection is an error.
+  EXPECT_EQ(parse_methods_list("1d,,2d"),
+            (std::vector<int>{kMethods1D, kMethods2D}));
+  for (const char* bad : {"x", "1d+", "+bdi", "1d++bdi", "3d", "bdi "})
+    EXPECT_THROW(parse_methods_list(bad), std::invalid_argument) << bad;
+}
+
+TEST(SweepShard, MethodSetName) {
+  using namespace sweep;
+  EXPECT_EQ(method_set_name(kMethodsDefault), "default");
+  EXPECT_EQ(method_set_name(kMethods1D), "1d");
+  EXPECT_EQ(method_set_name(kMethods1D | kMethods2D), "1d+2d");
+  EXPECT_EQ(method_set_name(kMethods1D | kMethods2D | kMethodsBdi), "1d+2d+bdi");
+}
+
+TEST(SweepShard, MethodsGridIsMethodsMajorOutsideT1) {
+  using namespace sweep;
+  const int avr_bdi = kMethods1D | kMethods2D | kMethodsBdi;
+  const auto grid = full_variant_grid({4, 6}, {kMethodsDefault, avr_bdi}, {"a"},
+                                      {Design::kAvr});
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0], (VariantPoint{4, {"a", Design::kAvr}, kMethodsDefault}));
+  EXPECT_EQ(grid[1], (VariantPoint{6, {"a", Design::kAvr}, kMethodsDefault}));
+  EXPECT_EQ(grid[2], (VariantPoint{4, {"a", Design::kAvr}, avr_bdi}));
+  EXPECT_EQ(grid[3], (VariantPoint{6, {"a", Design::kAvr}, avr_bdi}));
+
+  // The 3-arg overload is the {kMethodsDefault} slice of the 4-arg one.
+  const auto legacy = full_variant_grid({4, 6}, {"a"}, {Design::kAvr});
+  ASSERT_EQ(legacy.size(), 2u);
+  for (size_t i = 0; i < legacy.size(); ++i) EXPECT_EQ(legacy[i], grid[i]);
+}
+
+TEST(SweepShard, MethodsVariantConfigFingerprints) {
+  using namespace sweep;
+  // Explicitly selecting the paper's method set must reproduce the default
+  // fingerprint bit-for-bit: "--methods avr" is not a new cache key.
+  EXPECT_EQ(config_fingerprint(variant_config(-1, kMethods1D | kMethods2D)),
+            config_fingerprint(SimConfig{}));
+  // Every other selection is its own key, and the BDI bit composes with --t1.
+  std::set<uint64_t> fps;
+  for (int m : {kMethodsDefault, kMethods1D, kMethods2D, kMethods1D | kMethods2D,
+                kMethods1D | kMethods2D | kMethodsBdi})
+    for (int t1 : {-1, 6}) fps.insert(config_fingerprint(variant_config(t1, m)));
+  // 5 masks x 2 thresholds, minus the two default==1d+2d collapses.
+  EXPECT_EQ(fps.size(), 8u);
+
+  const SimConfig bdi = variant_config(-1, kMethods1D | kMethods2D | kMethodsBdi);
+  EXPECT_TRUE(bdi.avr.enable_1d);
+  EXPECT_TRUE(bdi.avr.enable_2d);
+  EXPECT_TRUE(bdi.avr.enable_bdi_hybrid);
+  const SimConfig only_1d = variant_config(-1, kMethods1D);
+  EXPECT_TRUE(only_1d.avr.enable_1d);
+  EXPECT_FALSE(only_1d.avr.enable_2d);
+  EXPECT_FALSE(only_1d.avr.enable_bdi_hybrid);
+}
+
 TEST(SweepShard, DesignAndWorkloadListParsing) {
   EXPECT_EQ(sweep::design_from_name("AVR"), Design::kAvr);
   EXPECT_EQ(sweep::design_from_name("avr"), Design::kAvr);
