@@ -1,12 +1,19 @@
 // Micro-benchmarks of the compressor/decompressor datapath (the functional
-// model of the 49-cycle / 12-cycle pipelines of Sec. 3.3).
+// model of the 49-cycle / 12-cycle pipelines of Sec. 3.3), plus per-kernel
+// SIMD-vs-scalar comparisons of the dispatched batch kernels
+// (common/simd.hh): the BM_Kernel* benches take the dispatch level as their
+// argument (0 = scalar, 1 = sse4, 2 = avx2), so one run shows each
+// kernel's vector speedup next to its scalar reference.
 #include <benchmark/benchmark.h>
 
 #include <array>
 #include <cmath>
 
+#include "avr/bias.hh"
 #include "avr/compressor.hh"
+#include "avr/downsample.hh"
 #include "common/prng.hh"
+#include "common/simd.hh"
 
 namespace {
 
@@ -104,6 +111,155 @@ void BM_OutlierCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OutlierCheck);
+
+// ---- per-kernel SIMD-vs-scalar benches ------------------------------------
+// Each runs one dispatched batch kernel over a 256-value block with the
+// dispatch pinned to the level in range(0); unsupported levels skip. All
+// levels are bit-identical (test_simd_kernels), so the rows differ only in
+// time.
+
+/// Pins the dispatch level for one benchmark run, restoring it afterwards
+/// so the end-to-end benches above keep measuring the default level.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(benchmark::State& state)
+      : prev_(simd_level()),
+        ok_(simd_set_level(static_cast<SimdLevel>(state.range(0)))) {
+    if (!ok_) state.SkipWithError("simd level unsupported on this cpu/build");
+  }
+  ~ScopedSimdLevel() { simd_set_level(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  SimdLevel prev_;
+  bool ok_;
+};
+
+void BM_KernelConvert(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<Fixed32, kValuesPerBlock> out;
+  for (auto _ : state) {
+    fixed32_from_f32_batch(block, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelConvert)->DenseRange(0, 2);
+
+void BM_KernelBias(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<float, kValuesPerBlock> out;
+  for (auto _ : state) {
+    bias_block(block, out, 10);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelBias)->DenseRange(0, 2);
+
+void BM_KernelSummarize1D(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<Fixed32, kValuesPerBlock> fixed;
+  fixed32_from_f32_batch(block, fixed);
+  for (auto _ : state) {
+    auto avg = downsample::compress_1d(fixed);
+    benchmark::DoNotOptimize(avg);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelSummarize1D)->DenseRange(0, 2);
+
+void BM_KernelSummarize2D(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<Fixed32, kValuesPerBlock> fixed;
+  fixed32_from_f32_batch(block, fixed);
+  for (auto _ : state) {
+    auto avg = downsample::compress_2d(fixed);
+    benchmark::DoNotOptimize(avg);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelSummarize2D)->DenseRange(0, 2);
+
+void BM_KernelReconstruct1D(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<Fixed32, kValuesPerBlock> fixed, recon;
+  fixed32_from_f32_batch(block, fixed);
+  const auto avg = downsample::compress_1d(fixed);
+  for (auto _ : state) {
+    downsample::reconstruct_1d(avg, recon);
+    benchmark::DoNotOptimize(recon);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelReconstruct1D)->DenseRange(0, 2);
+
+void BM_KernelReconstruct2D(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  const auto block = make_block(0);
+  std::array<Fixed32, kValuesPerBlock> fixed, recon;
+  fixed32_from_f32_batch(block, fixed);
+  const auto avg = downsample::compress_2d(fixed);
+  for (auto _ : state) {
+    downsample::reconstruct_2d(avg, recon);
+    benchmark::DoNotOptimize(recon);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelReconstruct2D)->DenseRange(0, 2);
+
+void BM_KernelErrorScan(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  // The sparse-spike block: mostly fast-path groups plus a few outlier
+  // groups taking the per-group scalar fallback, like real traffic.
+  const auto block = make_block(1);
+  std::array<float, kValuesPerBlock> biased;
+  std::array<Fixed32, kValuesPerBlock> fixed, recon;
+  const int8_t bias = choose_bias(block);
+  bias_block(block, biased, bias);
+  fixed32_from_f32_batch(biased, fixed);
+  downsample::reconstruct_1d(downsample::compress_1d(fixed), recon);
+  const uint32_t limit = 1u << (kMantissaBits - AvrConfig{}.t1_mantissa_msbit);
+  Bitmap256 map;
+  std::array<uint32_t, kMaxBlockOutliers> bits;
+  for (auto _ : state) {
+    simd::ErrorScanState st;
+    st.bitmap_words = map.words().data();
+    st.outlier_bits = bits.data();
+    st.max_outliers = kMaxBlockOutliers;
+    bool ok = simd::kernels().error_scan_f32(
+        block.data(), reinterpret_cast<const int32_t*>(recon.data()),
+        kValuesPerBlock, bias, limit, &st);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelErrorScan)->DenseRange(0, 2);
+
+void BM_KernelTruncate(benchmark::State& state) {
+  ScopedSimdLevel pin(state);
+  if (!pin.ok()) return;
+  auto block = make_block(0);  // truncation is idempotent: in-place reuse
+  for (auto _ : state) {
+    f32_truncate_low_bits_batch(block, 16);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kBlockBytes);
+}
+BENCHMARK(BM_KernelTruncate)->DenseRange(0, 2);
 
 }  // namespace
 

@@ -3,20 +3,18 @@
 #include <algorithm>
 
 #include "common/fp_bits.hh"
+#include "common/simd.hh"
 
 namespace avr {
 
 int8_t choose_bias(std::span<const float, kValuesPerBlock> vals) {
-  // Branch-free exponent min/max pass (vectorizable): zero/denormal values
-  // contribute the identity of each reduction, and a NaN/Inf value (e = 255)
-  // surfaces as e_max == 255 afterwards — same outcome as bailing mid-loop.
+  // Branch-free exponent min/max pass, dispatched to the SIMD kernel layer:
+  // zero/denormal values contribute the identity of each reduction, and a
+  // NaN/Inf value (e = 255) surfaces as e_max == 255 afterwards — same
+  // outcome as bailing mid-loop.
   int e_max = 0;
   int e_min = 256;
-  for (float v : vals) {
-    const int e = static_cast<int>(f32_exponent(v));
-    e_max = std::max(e_max, e);
-    e_min = std::min(e_min, e == 0 ? 256 : e);
-  }
+  simd::kernels().exponent_minmax(vals.data(), vals.size(), &e_max, &e_min);
   if (e_max == static_cast<int>(kExponentMask)) return 0;  // NaN/Inf present
   if (e_max == 0) return 0;                                // all zero/denormal
 
@@ -32,7 +30,7 @@ int8_t choose_bias(std::span<const float, kValuesPerBlock> vals) {
 
 void apply_bias(std::span<float, kValuesPerBlock> vals, int8_t bias) {
   if (bias == 0) return;
-  for (float& v : vals) v = f32_scale_exponent(v, bias);
+  simd::kernels().bias_block(vals.data(), vals.data(), vals.size(), bias);
 }
 
 void bias_block(std::span<const float, kValuesPerBlock> in,
@@ -41,8 +39,7 @@ void bias_block(std::span<const float, kValuesPerBlock> in,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
-    out[i] = f32_scale_exponent(in[i], bias);
+  simd::kernels().bias_block(in.data(), out.data(), kValuesPerBlock, bias);
 }
 
 }  // namespace avr

@@ -7,19 +7,10 @@
 #include "avr/method.hh"
 #include "common/fp_bits.hh"
 #include "common/profile.hh"
+#include "common/simd.hh"
 #include "lossless/bdi.hh"
 
 namespace avr {
-namespace {
-
-/// Reconstructed float for position i given the fixed-domain interpolation
-/// result, undoing the bias (decompressor right half of Fig. 4).
-float to_float_domain(Fixed32 fx, int8_t bias, DType dtype) {
-  if (dtype == DType::kFixed32) return std::bit_cast<float>(fx.raw());
-  return unbias_value(fx.to_float(), bias);
-}
-
-}  // namespace
 
 std::span<const MethodVariant> method_variants() {
   // Selection-preference order: 2D first, so on ties it wins, matching the
@@ -98,42 +89,25 @@ bool Compressor::try_method(const MethodVariant& variant,
     // one int64 accumulator of absolute mantissa differences replaces the
     // per-value double divisions (every |dm|/2^23 term is an exact multiple
     // of 2^-23 and the sum stays below 2^31 of them, so deferring the
-    // division reproduces the old double accumulation bit for bit).
+    // division reproduces the old double accumulation bit for bit). The
+    // scan itself is a dispatched SIMD kernel writing the bitmap words and
+    // the outlier images directly; a false return is the budget abort.
     const uint32_t limit = 1u << (kMantissaBits - cfg_.t1_mantissa_msbit);
-    int64_t dm_sum = 0;
-    for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
-      const uint32_t ob = f32_bits(original[i]);
-      const uint32_t ab =
-          f32_bits(unbias_value(scratch.recon[i].to_float(), bias));
-      if (ob == ab) {  // exact reconstruction: non-outlier, zero error
-        ++non_outliers;
-        continue;
-      }
-      const bool nonfinite = ((ob >> kMantissaBits) & kExponentMask) == kExponentMask;
-      // Sign or exponent mismatch shows up as any difference above the
-      // mantissa field; NaN/Inf originals are always outliers.
-      bool outlier;
-      int32_t dm = 0;
-      if (nonfinite || ((ob ^ ab) >> kMantissaBits) != 0) {
-        outlier = true;
-      } else {
-        dm = static_cast<int32_t>(ob & kMantissaMask) -
-             static_cast<int32_t>(ab & kMantissaMask);
-        if (dm < 0) dm = -dm;
-        outlier = static_cast<uint32_t>(dm) >= limit;
-      }
-      if (outlier) {
-        if (blk.outliers.full()) return false;  // cannot fit in 8 lines
-        blk.outlier_map.set(i);
-        blk.outliers.push_back(ob);
-      } else {
-        dm_sum += dm;
-        ++non_outliers;
-      }
-    }
+    simd::ErrorScanState st;
+    st.bitmap_words = blk.outlier_map.words().data();
+    st.outlier_bits = scratch.outlier_bits.data();
+    st.max_outliers = kMaxBlockOutliers;
+    static_assert(sizeof(Fixed32) == sizeof(int32_t));
+    if (!simd::kernels().error_scan_f32(
+            original.data(), reinterpret_cast<const int32_t*>(scratch.recon.data()),
+            kValuesPerBlock, bias, limit, &st))
+      return false;  // cannot fit in 8 lines
+    for (uint32_t k = 0; k < st.n_outliers; ++k)
+      blk.outliers.push_back(scratch.outlier_bits[k]);
+    non_outliers = st.non_outliers;
     att.avg_error =
         non_outliers
-            ? (static_cast<double>(dm_sum) /
+            ? (static_cast<double>(st.dm_sum) /
                static_cast<double>(1u << kMantissaBits)) / non_outliers
             : 0.0;
   }
@@ -214,8 +188,17 @@ void Compressor::reconstruct(const CompressedBlock& cb,
   std::array<Fixed32, kValuesPerBlock> recon;
   variant_for(cb.method).reconstruct(avg, recon);
 
-  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
-    out[i] = to_float_domain(recon[i], cb.bias, cb.dtype);
+  // Back to the float domain (decompressor right half of Fig. 4): kFixed32
+  // regions store Q16.16 bit patterns verbatim; float regions unbias
+  // through the dispatched batch kernel.
+  if (cb.dtype == DType::kFixed32) {
+    static_assert(sizeof(Fixed32) == sizeof(float));
+    __builtin_memcpy(out.data(), recon.data(), sizeof(recon));
+  } else {
+    simd::kernels().fixed32_to_f32_unbias(
+        reinterpret_cast<const int32_t*>(recon.data()), out.data(),
+        kValuesPerBlock, cb.bias);
+  }
 
   // Overlay the exactly-stored outliers per the bitmap (DBUF fill, Fig. 4).
   uint32_t oi = 0;

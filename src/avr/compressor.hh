@@ -62,6 +62,9 @@ struct CompressorScratch {
   std::array<float, kValuesPerBlock> biased;
   std::array<Fixed32, kValuesPerBlock> fixed;
   std::array<Fixed32, kValuesPerBlock> recon;
+  /// Outlier bit images the dispatched error-scan kernel collects before
+  /// they are pushed (in block order) into the candidate's outlier list.
+  std::array<uint32_t, kMaxBlockOutliers> outlier_bits;
   CompressionAttempt candidate;
   CompressionAttempt best;
 };

@@ -1,5 +1,7 @@
 #include "avr/downsample.hh"
 
+#include "common/simd.hh"
+
 namespace avr::downsample {
 namespace {
 
@@ -22,100 +24,80 @@ constexpr Lerp locate(uint32_t pos, uint32_t stride, uint32_t n) {
   return {k, w};
 }
 
-/// One precomputed interpolation step: the two neighbour averages and the
-/// right neighbour's weight. locate() runs once per table entry at compile
-/// time; the reconstruct kernels are pure table-driven lerps.
-struct LerpEntry {
-  uint8_t left;
-  uint8_t right;
-  int8_t w;  // in [0, 2*stride)
+/// The precomputed interpolation network in structure-of-arrays form: per
+/// position, the two neighbour averages and the right neighbour's weight as
+/// flat index/weight arrays the SIMD lerp kernels consume directly.
+/// locate() runs once per entry at compile time; the reconstruct kernels
+/// stay pure table-driven lerps.
+template <size_t N>
+struct LerpTable {
+  std::array<uint8_t, N> left{};
+  std::array<uint8_t, N> right{};
+  std::array<int8_t, N> w{};  // in [0, 2*stride)
 };
 
-constexpr LerpEntry entry_for(uint32_t pos, uint32_t stride, uint32_t n) {
-  const Lerp l = locate(pos, stride, n);
-  const uint32_t r = l.left + 1 < n ? l.left + 1 : l.left;
-  return {static_cast<uint8_t>(l.left), static_cast<uint8_t>(r),
-          static_cast<int8_t>(l.w_num)};
+template <size_t N>
+constexpr LerpTable<N> make_table(uint32_t stride, uint32_t n) {
+  LerpTable<N> t;
+  for (uint32_t i = 0; i < N; ++i) {
+    const Lerp l = locate(i, stride, n);
+    t.left[i] = static_cast<uint8_t>(l.left);
+    t.right[i] = static_cast<uint8_t>(l.left + 1 < n ? l.left + 1 : l.left);
+    t.w[i] = static_cast<int8_t>(l.w_num);
+  }
+  return t;
 }
 
 /// 1D placement: per linear position, neighbours among the 16 averages.
-constexpr auto k1DTable = [] {
-  std::array<LerpEntry, kValuesPerBlock> t{};
-  for (uint32_t i = 0; i < kValuesPerBlock; ++i)
-    t[i] = entry_for(i, kSubBlock1D, 16);
-  return t;
-}();
-
+constexpr auto k1DTable = make_table<kValuesPerBlock>(kSubBlock1D, 16);
 /// 2D placement: per row/column coordinate, neighbours among the 4 tile
 /// centers along that axis (rows and columns share one table).
-constexpr auto k2DTable = [] {
-  std::array<LerpEntry, kGrid2D> t{};
-  for (uint32_t i = 0; i < kGrid2D; ++i) t[i] = entry_for(i, kTile2D, 4);
-  return t;
-}();
+constexpr auto k2DTable = make_table<kGrid2D>(kTile2D, 4);
+
+// Weight denominators as shift counts: 2*kSubBlock1D = 32, 2*kTile2D = 8.
+constexpr int kLog2Den1D = 5;
+constexpr int kLog2Den2D = 3;
+static_assert((1u << kLog2Den1D) == 2 * kSubBlock1D);
+static_assert((1u << kLog2Den2D) == 2 * kTile2D);
+
+// A Fixed32 array IS a raw int32 array (the SoA layout the kernels take).
+static_assert(sizeof(Fixed32) == sizeof(int32_t) &&
+              alignof(Fixed32) == alignof(int32_t));
+
+inline const int32_t* raw(const Fixed32* p) {
+  return reinterpret_cast<const int32_t*>(p);
+}
+inline int32_t* raw(Fixed32* p) { return reinterpret_cast<int32_t*>(p); }
 
 }  // namespace
 
 std::array<Fixed32, 16> compress_1d(std::span<const Fixed32, kValuesPerBlock> in) {
-  // Flat accumulation (same round-half-away shift as Fixed32::average with
-  // n = 16, spelled as a direct loop the compiler unrolls/vectorizes).
   std::array<Fixed32, 16> out;
-  for (uint32_t k = 0; k < 16; ++k) {
-    int64_t acc = 0;
-    for (uint32_t i = 0; i < kSubBlock1D; ++i)
-      acc += in[k * kSubBlock1D + i].raw();
-    const int64_t q = acc >= 0 ? (acc + 8) / 16 : -((-acc + 8) / 16);
-    out[k] = Fixed32::from_raw(static_cast<int32_t>(q));
-  }
+  simd::kernels().summarize_1d(raw(in.data()), raw(out.data()));
   return out;
 }
 
 std::array<Fixed32, 16> compress_2d(std::span<const Fixed32, kValuesPerBlock> in) {
   std::array<Fixed32, 16> out;
-  for (uint32_t tr = 0; tr < kGrid2D / kTile2D; ++tr)
-    for (uint32_t tc = 0; tc < kGrid2D / kTile2D; ++tc) {
-      int64_t acc = 0;
-      for (uint32_t r = 0; r < kTile2D; ++r)
-        for (uint32_t c = 0; c < kTile2D; ++c)
-          acc += in[(tr * kTile2D + r) * kGrid2D + tc * kTile2D + c].raw();
-      // Round-to-nearest over the 16 tile values.
-      const int64_t q = acc >= 0 ? (acc + 8) / 16 : -((-acc + 8) / 16);
-      out[tr * 4 + tc] = Fixed32::from_raw(static_cast<int32_t>(q));
-    }
+  simd::kernels().summarize_2d(raw(in.data()), raw(out.data()));
   return out;
 }
 
 void reconstruct_1d(const std::array<Fixed32, 16>& avg,
                     std::span<Fixed32, kValuesPerBlock> out) {
-  constexpr int kDen = 2 * kSubBlock1D;  // 32
-  for (uint32_t i = 0; i < kValuesPerBlock; ++i) {
-    const LerpEntry& t = k1DTable[i];
-    out[i] = Fixed32::lerp(avg[t.left], avg[t.right], t.w, kDen);
-  }
+  simd::kernels().lerp_gather(raw(avg.data()), k1DTable.left.data(),
+                              k1DTable.right.data(), k1DTable.w.data(),
+                              kLog2Den1D, raw(out.data()), kValuesPerBlock);
 }
 
 void reconstruct_2d(const std::array<Fixed32, 16>& avg,
                     std::span<Fixed32, kValuesPerBlock> out) {
-  constexpr int kDen = 2 * kTile2D;  // 8
-  // The horizontal (column) interpolation of each of the 4 average rows is
-  // shared by every output row that blends it: hoist the 4x16 column pass,
-  // then the main loop is one vertical lerp per value — 320 lerps instead
-  // of the naive 768, computing bit-identical results.
-  Fixed32 col[4][kGrid2D];
-  for (uint32_t ar = 0; ar < 4; ++ar) {
-    const Fixed32* row = &avg[ar * 4u];
-    for (uint32_t c = 0; c < kGrid2D; ++c) {
-      const LerpEntry& tc = k2DTable[c];
-      col[ar][c] = Fixed32::lerp(row[tc.left], row[tc.right], tc.w, kDen);
-    }
-  }
-  for (uint32_t r = 0; r < kGrid2D; ++r) {
-    const LerpEntry& tr = k2DTable[r];
-    const Fixed32* top = col[tr.left];
-    const Fixed32* bot = col[tr.right];
-    for (uint32_t c = 0; c < kGrid2D; ++c)
-      out[r * kGrid2D + c] = Fixed32::lerp(top[c], bot[c], tr.w, kDen);
-  }
+  // One dispatched call for the whole bi-linear pass: the kernel hoists the
+  // 4x16 column interpolation and reuses it for every output row (320 lerps
+  // instead of the naive 768), bit-identical to the scalar reference.
+  simd::kernels().reconstruct_2d(raw(avg.data()), k2DTable.left.data(),
+                                 k2DTable.right.data(), k2DTable.w.data(),
+                                 raw(out.data()));
 }
 
 }  // namespace avr::downsample

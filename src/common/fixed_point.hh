@@ -84,9 +84,9 @@ class Fixed32 {
 //
 // The compressor pipeline runs its conversion stages over whole 256-value
 // blocks held in flat arrays (a Fixed32 is one int32, so an array of them IS
-// the SoA layout). Keeping the loops here, header-inline and branch-light,
-// lets the compiler unroll/vectorize them once for every stage that uses
-// them (compressor, decompressor, baselines).
+// the SoA layout). The float conversion dispatches to the runtime-selected
+// SIMD kernel (common/simd.hh) — one indirect call per block, with the
+// scalar reference loop preserved verbatim in simd.cc.
 
 /// Float block -> Q16.16 block. Non-finite inputs (the NaN/Inf values the
 /// error check later stores exactly as outliers) map to raw 0, matching the
@@ -97,22 +97,9 @@ class Fixed32 {
 /// rounds half-away to the same value from_float produces (the saturating
 /// comparisons in from_float only redirect values that round to the clamp
 /// anyway), and NaN fails the range test, so the slow path sees exactly the
-/// non-finite and saturating inputs.
-inline void fixed32_from_f32_batch(std::span<const float> in,
-                                   std::span<Fixed32> out) {
-  constexpr double kLo = static_cast<double>(std::numeric_limits<int32_t>::min()) - 0.5;
-  constexpr double kHi = static_cast<double>(std::numeric_limits<int32_t>::max()) + 0.5;
-  for (size_t i = 0; i < in.size(); ++i) {
-    const float v = in[i];
-    const double scaled = static_cast<double>(v) * Fixed32::kOne;
-    if (scaled > kLo && scaled < kHi) {
-      out[i] = Fixed32::from_raw(
-          static_cast<int32_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
-    } else {
-      out[i] = std::isfinite(v) ? Fixed32::from_float(v) : Fixed32::from_raw(0);
-    }
-  }
-}
+/// non-finite and saturating inputs. Defined in simd.cc; every dispatch
+/// level is bit-identical.
+void fixed32_from_f32_batch(std::span<const float> in, std::span<Fixed32> out);
 
 /// Reinterpret a block of raw 32-bit images (DType::kFixed32 regions store
 /// Q16.16 bit patterns in float-typed storage) as fixed-point values.

@@ -58,11 +58,9 @@ inline float f32_truncate_low_bits(float f, unsigned n) {
 /// In-place batch form of f32_truncate_low_bits over a flat value array
 /// (structure-of-arrays style, like the fixed-point block kernels): the
 /// Truncate baseline chops every fp32 of an evicted line in one pass.
-inline void f32_truncate_low_bits_batch(std::span<float> vals, unsigned n) {
-  const uint32_t keep = ~((1u << n) - 1u);
-  for (float& f : vals)
-    if (f32_is_finite(f)) f = bits_f32(f32_bits(f) & keep);
-}
+/// Dispatches to the runtime-selected SIMD kernel (common/simd.hh); defined
+/// in simd.cc, bit-identical at every dispatch level.
+void f32_truncate_low_bits_batch(std::span<float> vals, unsigned n);
 
 /// Relative error |a-b| / max(|b|, tiny); used for *reporting* application
 /// output error, not for the hardware outlier check.

@@ -79,6 +79,8 @@ bool write_profile_json(const std::string& path, const Report& report) {
   append_json_escaped(out, report.owner);
   out += "\",\"mode\":\"";
   append_json_escaped(out, report.mode);
+  out += "\",\"simd\":\"";
+  append_json_escaped(out, report.simd);
   out += "\",\"wall_seconds\":";
   append_double(out, report.wall_seconds);
   out += ",\"aggregate\":";
@@ -121,8 +123,9 @@ bool write_profile_json(const std::string& path, const Report& report) {
 void print_summary(std::FILE* out, const Report& report) {
   const Totals& t = report.aggregate;
   const double wall = report.wall_seconds;
-  std::fprintf(out, "\n== profile: %s (%s, %.2fs wall) ==\n",
-               report.owner.c_str(), report.mode.c_str(), wall);
+  std::fprintf(out, "\n== profile: %s (%s, simd %s, %.2fs wall) ==\n",
+               report.owner.c_str(), report.mode.c_str(),
+               report.simd.empty() ? "?" : report.simd.c_str(), wall);
   std::fprintf(out, "%-12s %10s %8s %8s\n", "phase", "seconds", "% wall",
                "calls");
   for (size_t i = 0; i < kNumPhases; ++i) {

@@ -207,6 +207,7 @@ struct PointProfile {
 struct Report {
   std::string owner;  // claim-owner token or "<host>-<pid>"
   std::string mode;   // "claim", "shard", "runner", ...
+  std::string simd;   // active kernel dispatch level: "scalar"|"sse4"|"avx2"
   double wall_seconds = 0;
   Totals aggregate;
   std::vector<PointProfile> points;

@@ -1,0 +1,320 @@
+// SSE4.2 (4-lane) kernel implementations: the 128-bit mirror of
+// simd_avx2.cc, for x86-64 CPUs without AVX2. Compiled with -msse4.2
+// (per-file; see CMakeLists) and reached only through the dispatch table.
+// Same bit-identity structure as the AVX2 TU: proven fast paths, scalar
+// helper fallback for excluded lanes, no shared inline symbols.
+#include <immintrin.h>
+
+#include "common/simd_impl.hh"
+
+namespace avr::simd::detail {
+namespace {
+
+inline int mask32(__m128i m) { return _mm_movemask_ps(_mm_castsi128_ps(m)); }
+
+inline int64_t hsum_epi64(__m128i v) {
+  return _mm_cvtsi128_si64(v) + _mm_extract_epi64(v, 1);
+}
+
+inline int64_t hsum_epi32(__m128i v) {
+  __m128i s = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline int64_t round_avg16(int64_t acc) {
+  return acc >= 0 ? (acc + 8) / 16 : -((-acc + 8) / 16);
+}
+
+/// See simd_avx2.cc exp_add_guarded: same proof, 4 lanes.
+inline __m128i exp_add_guarded(__m128i b, int delta, int* bad) {
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i e = _mm_and_si128(_mm_srli_epi32(b, 23), ff);
+  const __m128i zero_e = _mm_cmpeq_epi32(e, zero);
+  const __m128i esum = _mm_add_epi32(e, _mm_set1_epi32(delta));
+  const __m128i oor =
+      _mm_or_si128(_mm_cmpgt_epi32(zero, esum), _mm_cmpgt_epi32(esum, ff));
+  *bad = mask32(_mm_andnot_si128(zero_e, oor));
+  const __m128i biased = _mm_add_epi32(
+      b, _mm_set1_epi32(static_cast<int>(static_cast<uint32_t>(delta) << 23)));
+  return _mm_blendv_epi8(biased, b, zero_e);
+}
+
+/// See simd_avx2.cc lerp_q: same proof, 4 lanes (blend_epi16 mask 0xCC
+/// selects the odd 32-bit lanes).
+inline __m128i lerp_q(__m128i d, __m128i vw, __m128i shift) {
+  const __m128i ad = _mm_abs_epi32(d);
+  const __m128i pe = _mm_srl_epi64(_mm_mul_epu32(ad, vw), shift);
+  const __m128i po = _mm_srl_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(ad, 32), _mm_srli_epi64(vw, 32)), shift);
+  const __m128i q = _mm_blend_epi16(pe, _mm_slli_epi64(po, 32), 0xCC);
+  const __m128i sgn = _mm_srai_epi32(d, 31);
+  return _mm_sub_epi32(_mm_xor_si128(q, sgn), sgn);
+}
+
+inline __m128i sub_overflow(__m128i a, __m128i b, __m128i d) {
+  return _mm_and_si128(_mm_xor_si128(b, a), _mm_xor_si128(b, d));
+}
+
+void fixed32_from_f32_sse4(const float* in, int32_t* out, size_t n) {
+  const __m128d lo = _mm_set1_pd(kConvertLo);
+  const __m128d hi = _mm_set1_pd(kConvertHi);
+  const __m128d one = _mm_set1_pd(kFixedOne);
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_loadu_ps(in + i);
+    const __m128d s0 = _mm_mul_pd(_mm_cvtps_pd(v), one);
+    const __m128d s1 = _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(v, v)), one);
+    const __m128d r0 = _mm_add_pd(s0, _mm_or_pd(half, _mm_and_pd(s0, sign)));
+    const __m128d r1 = _mm_add_pd(s1, _mm_or_pd(half, _mm_and_pd(s1, sign)));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + i),
+        _mm_unpacklo_epi64(_mm_cvttpd_epi32(r0), _mm_cvttpd_epi32(r1)));
+    const int ok =
+        _mm_movemask_pd(_mm_and_pd(_mm_cmpgt_pd(s0, lo), _mm_cmplt_pd(s0, hi))) |
+        (_mm_movemask_pd(_mm_and_pd(_mm_cmpgt_pd(s1, lo), _mm_cmplt_pd(s1, hi)))
+         << 2);
+    if (ok != 0xF) {
+      for (int l = 0; l < 4; ++l) {
+        if (!((ok >> l) & 1)) fixed32_from_f32_scalar(in + i + l, out + i + l, 1);
+      }
+    }
+  }
+  if (i < n) fixed32_from_f32_scalar(in + i, out + i, n - i);
+}
+
+void fixed32_to_f32_unbias_sse4(const int32_t* in, float* out, size_t n,
+                                int8_t bias) {
+  const __m128 scale = _mm_set1_ps(kFixedOneInv);
+  const int delta = -static_cast<int>(bias);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128 f = _mm_mul_ps(_mm_cvtepi32_ps(raw), scale);
+    if (delta == 0) {
+      _mm_storeu_ps(out + i, f);
+      continue;
+    }
+    int bad = 0;
+    const __m128i res = exp_add_guarded(_mm_castps_si128(f), delta, &bad);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), res);
+    if (bad) {
+      for (int l = 0; l < 4; ++l) {
+        if ((bad >> l) & 1)
+          fixed32_to_f32_unbias_scalar(in + i + l, out + i + l, 1, bias);
+      }
+    }
+  }
+  if (i < n) fixed32_to_f32_unbias_scalar(in + i, out + i, n - i, bias);
+}
+
+void bias_block_sse4(const float* in, float* out, size_t n, int8_t bias) {
+  const int delta = bias;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    int bad = 0;
+    const __m128i res = exp_add_guarded(b, delta, &bad);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), res);
+    if (bad) {
+      // May be in-place: spill lanes re-run from the loaded originals.
+      alignas(16) float orig[4];
+      _mm_store_ps(orig, _mm_castsi128_ps(b));
+      for (int l = 0; l < 4; ++l) {
+        if ((bad >> l) & 1) bias_block_scalar(orig + l, out + i + l, 1, bias);
+      }
+    }
+  }
+  if (i < n) bias_block_scalar(in + i, out + i, n - i, bias);
+}
+
+void exponent_minmax_sse4(const float* in, size_t n, int* e_max, int* e_min) {
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  const __m128i big = _mm_set1_epi32(256);
+  const __m128i zero = _mm_setzero_si128();
+  __m128i vmax = zero;
+  __m128i vmin = big;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i e = _mm_and_si128(_mm_srli_epi32(b, 23), ff);
+    vmax = _mm_max_epi32(vmax, e);
+    vmin = _mm_min_epi32(vmin, _mm_blendv_epi8(e, big, _mm_cmpeq_epi32(e, zero)));
+  }
+  __m128i mx = _mm_max_epi32(vmax, _mm_shuffle_epi32(vmax, _MM_SHUFFLE(1, 0, 3, 2)));
+  mx = _mm_max_epi32(mx, _mm_shuffle_epi32(mx, _MM_SHUFFLE(2, 3, 0, 1)));
+  __m128i mn = _mm_min_epi32(vmin, _mm_shuffle_epi32(vmin, _MM_SHUFFLE(1, 0, 3, 2)));
+  mn = _mm_min_epi32(mn, _mm_shuffle_epi32(mn, _MM_SHUFFLE(2, 3, 0, 1)));
+  int rmax = _mm_cvtsi128_si32(mx);
+  int rmin = _mm_cvtsi128_si32(mn);
+  if (i < n) {
+    int tmx = 0;
+    int tmn = 256;
+    exponent_minmax_scalar(in + i, n - i, &tmx, &tmn);
+    rmax = rmax > tmx ? rmax : tmx;
+    rmin = rmin < tmn ? rmin : tmn;
+  }
+  *e_max = rmax;
+  *e_min = rmin;
+}
+
+void truncate_low_bits_sse4(float* vals, size_t n, unsigned bits) {
+  const __m128i keep = _mm_set1_epi32(static_cast<int>(~((1u << bits) - 1u)));
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    const __m128i nonfin =
+        _mm_cmpeq_epi32(_mm_and_si128(_mm_srli_epi32(b, 23), ff), ff);
+    const __m128i res = _mm_blendv_epi8(_mm_and_si128(b, keep), b, nonfin);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(vals + i), res);
+  }
+  if (i < n) truncate_low_bits_scalar(vals + i, n - i, bits);
+}
+
+void summarize_1d_sse4(const int32_t* in, int32_t* out) {
+  for (int k = 0; k < 16; ++k) {
+    const int32_t* p = in + k * 16;
+    __m128i s = _mm_setzero_si128();
+    for (int j = 0; j < 16; j += 4) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + j));
+      s = _mm_add_epi64(s, _mm_cvtepi32_epi64(v));
+      s = _mm_add_epi64(s, _mm_cvtepi32_epi64(_mm_srli_si128(v, 8)));
+    }
+    out[k] = static_cast<int32_t>(round_avg16(hsum_epi64(s)));
+  }
+}
+
+void summarize_2d_sse4(const int32_t* in, int32_t* out) {
+  for (int tr = 0; tr < 4; ++tr) {
+    for (int tc = 0; tc < 4; ++tc) {
+      __m128i s = _mm_setzero_si128();
+      for (int r = 0; r < 4; ++r) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(in + (tr * 4 + r) * 16 + tc * 4));
+        s = _mm_add_epi64(s, _mm_cvtepi32_epi64(v));
+        s = _mm_add_epi64(s, _mm_cvtepi32_epi64(_mm_srli_si128(v, 8)));
+      }
+      out[tr * 4 + tc] = static_cast<int32_t>(round_avg16(hsum_epi64(s)));
+    }
+  }
+}
+
+void lerp_gather_sse4(const int32_t* avg, const uint8_t* left,
+                      const uint8_t* right, const int8_t* w, int log2_den,
+                      int32_t* out, size_t n) {
+  const __m128i shift = _mm_cvtsi32_si128(log2_den);
+  __m128i ov = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // No vector gather below AVX2: build the neighbour vectors with scalar
+    // indexed loads.
+    const __m128i a = _mm_setr_epi32(avg[left[i]], avg[left[i + 1]],
+                                     avg[left[i + 2]], avg[left[i + 3]]);
+    const __m128i b = _mm_setr_epi32(avg[right[i]], avg[right[i + 1]],
+                                     avg[right[i + 2]], avg[right[i + 3]]);
+    const __m128i vw = _mm_setr_epi32(w[i], w[i + 1], w[i + 2], w[i + 3]);
+    const __m128i d = _mm_sub_epi32(b, a);
+    ov = _mm_or_si128(ov, sub_overflow(a, b, d));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_add_epi32(a, lerp_q(d, vw, shift)));
+  }
+  if (i < n)
+    lerp_gather_scalar(avg, left + i, right + i, w + i, log2_den, out + i, n - i);
+  if (mask32(ov)) lerp_gather_scalar(avg, left, right, w, log2_den, out, n);
+}
+
+void reconstruct_2d_sse4(const int32_t* avg, const uint8_t* left,
+                         const uint8_t* right, const int8_t* w, int32_t* out) {
+  alignas(16) int32_t col[4][16];
+  for (int ar = 0; ar < 4; ++ar)
+    lerp_gather_sse4(avg + ar * 4, left, right, w, 3, col[ar], 16);
+  const __m128i shift = _mm_cvtsi32_si128(3);
+  __m128i ov = _mm_setzero_si128();
+  for (int r = 0; r < 16; ++r) {
+    const int32_t* top = col[left[r]];
+    const int32_t* bot = col[right[r]];
+    const __m128i vw = _mm_set1_epi32(w[r]);
+    for (int c = 0; c < 16; c += 4) {
+      const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(top + c));
+      const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(bot + c));
+      const __m128i d = _mm_sub_epi32(b, a);
+      ov = _mm_or_si128(ov, sub_overflow(a, b, d));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r * 16 + c),
+                       _mm_add_epi32(a, lerp_q(d, vw, shift)));
+    }
+  }
+  if (mask32(ov)) reconstruct_2d_scalar(avg, left, right, w, out);
+}
+
+bool error_scan_f32_sse4(const float* original, const int32_t* recon_raw,
+                         size_t n, int8_t bias, uint32_t limit,
+                         ErrorScanState* st) {
+  for (size_t k = 0; k < (n + 63) / 64; ++k) st->bitmap_words[k] = 0;
+  const __m128 scale = _mm_set1_ps(kFixedOneInv);
+  const __m128i ff = _mm_set1_epi32(0xFF);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i ones = _mm_set1_epi32(-1);
+  const __m128i mant = _mm_set1_epi32(static_cast<int>(kF32MantissaMask));
+  const __m128i limm1 = _mm_set1_epi32(static_cast<int>(limit) - 1);
+  const int delta = -static_cast<int>(bias);
+  __m128i dmacc = zero;
+  int64_t dm_sum = 0;
+  uint32_t fast_lanes = 0;
+  int groups_since_flush = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i ob =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(original + i));
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(recon_raw + i));
+    __m128i ab = _mm_castps_si128(_mm_mul_ps(_mm_cvtepi32_ps(raw), scale));
+    int bad = 0;
+    if (delta != 0) ab = exp_add_guarded(ab, delta, &bad);
+    const __m128i eq = _mm_cmpeq_epi32(ob, ab);
+    const __m128i nonfin =
+        _mm_cmpeq_epi32(_mm_and_si128(_mm_srli_epi32(ob, 23), ff), ff);
+    const __m128i hieq =
+        _mm_cmpeq_epi32(_mm_srli_epi32(_mm_xor_si128(ob, ab), 23), zero);
+    const __m128i dm = _mm_abs_epi32(
+        _mm_sub_epi32(_mm_and_si128(ob, mant), _mm_and_si128(ab, mant)));
+    const __m128i outl = _mm_andnot_si128(
+        eq, _mm_or_si128(_mm_or_si128(nonfin, _mm_cmpgt_epi32(dm, limm1)),
+                         _mm_xor_si128(hieq, ones)));
+    if (bad | mask32(outl)) {
+      if (!error_scan_range_scalar(original, recon_raw, bias, limit, i, i + 4, st))
+        return false;
+    } else {
+      dmacc = _mm_add_epi32(dmacc, _mm_andnot_si128(eq, dm));
+      fast_lanes += 4;
+      // Lane bound: 64 adds of < 2^23 keep each lane < 2^29 and the 4-lane
+      // horizontal sum < 2^31.
+      if (++groups_since_flush == 64) {
+        dm_sum += hsum_epi32(dmacc);
+        dmacc = zero;
+        groups_since_flush = 0;
+      }
+    }
+  }
+  dm_sum += hsum_epi32(dmacc);
+  st->dm_sum += dm_sum;
+  st->non_outliers += fast_lanes;
+  if (i < n)
+    return error_scan_range_scalar(original, recon_raw, bias, limit, i, n, st);
+  return true;
+}
+
+}  // namespace
+
+const KernelTable kSse4Table = {
+    fixed32_from_f32_sse4, fixed32_to_f32_unbias_sse4,
+    bias_block_sse4,       exponent_minmax_sse4,
+    truncate_low_bits_sse4, summarize_1d_sse4,
+    summarize_2d_sse4,     lerp_gather_sse4,
+    reconstruct_2d_sse4,   error_scan_f32_sse4,
+};
+
+}  // namespace avr::simd::detail

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/profile.hh"
+#include "common/simd.hh"
 #include "harness/experiment.hh"
 #include "harness/result_cache.hh"
 #include "harness/sweep.hh"
@@ -414,6 +415,7 @@ int main(int argc, char** argv) {
   prof::Report report;
   report.owner = o.owner;
   report.mode = o.claim ? "claim" : "shard";
+  report.simd = simd_level_name(simd_level());
   report.wall_seconds = secs;
   report.aggregate = steal.sched;
   for (auto& [variant, runner] : runners) {

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload_registry.hh"
@@ -287,6 +288,10 @@ TEST(WorkStealing, ThreeClaimProcessesMatchSingleProcessSweep) {
                      std::istreambuf_iterator<char>());
     EXPECT_NE(text.find("\"schema\":\"avr-profile-v1\""), std::string::npos);
     EXPECT_NE(text.find("\"mode\":\"claim\""), std::string::npos);
+    // The sidecar records which kernel dispatch level produced the numbers.
+    const std::string simd =
+        std::string("\"simd\":\"") + simd_level_name(simd_level()) + "\"";
+    EXPECT_NE(text.find(simd), std::string::npos);
     std::remove(sidecar.c_str());
   }
   std::remove(cache.c_str());
