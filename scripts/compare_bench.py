@@ -37,11 +37,33 @@ def main():
                     help="flag benchmarks slower than this ratio (default 1.5)")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)["post"]
+    # A missing or mangled baseline must fail loudly: a comparison against
+    # nothing would pass vacuously and hide real regressions.
+    try:
+        with open(args.baseline) as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"error: baseline {args.baseline} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 2
+    base = doc.get("post")
+    if not isinstance(base, dict) or not base:
+        print(f"error: baseline {args.baseline} has no non-empty 'post' "
+              f"table of ns/iter numbers", file=sys.stderr)
+        return 2
+
     fresh = {}
     for path in args.fresh:
-        fresh.update(load_benchmark_json(path))
+        try:
+            fresh.update(load_benchmark_json(path))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"error: cannot parse benchmark output {path}: {e}",
+                  file=sys.stderr)
+            return 2
 
     flagged = []
     print(f"{'benchmark':35s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")

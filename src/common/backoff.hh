@@ -1,0 +1,34 @@
+// Bounded exponential backoff with jitter for transient-I/O retry loops
+// (cache appends, lock acquisition, claim staking). The schedule is short
+// and capped — retries exist to ride out momentary contention or an
+// injected fault storm, not to wait out a dead disk: callers give up after
+// a handful of attempts and degrade loudly instead of hanging a sweep.
+#pragma once
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace avr {
+
+/// Attempts a caller should make before degrading (first try + retries).
+inline constexpr int kIoRetryAttempts = 5;
+
+/// Sleeps ~base * 2^attempt milliseconds (attempt counts from 0, base 5 ms,
+/// capped at 100 ms) plus up to one base-interval of jitter derived from
+/// `salt` (pid ^ attempt works well) so colliding writers deschedule apart.
+inline void backoff_sleep(int attempt, uint64_t salt) {
+  uint64_t base_ms = 5ull << (attempt < 0 ? 0 : attempt);
+  if (base_ms > 100) base_ms = 100;
+  // splitmix64 finalizer: cheap, stateless jitter.
+  uint64_t x = salt + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  const uint64_t ms = base_ms + (x ^ (x >> 31)) % (base_ms + 1);
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000ull);
+  ::nanosleep(&ts, nullptr);  // EINTR: close enough — this is only backoff
+}
+
+}  // namespace avr

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault_inject.hh"
+
 namespace avr {
 namespace prof {
 namespace {
@@ -104,8 +106,19 @@ bool write_profile_json(const std::string& path, const Report& report) {
   out += "]}\n";
 
   // tmp + rename: a reader (or artifact upload) never sees a torn sidecar.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  // The tmp name carries the owner (pid fallback), so concurrent writers
+  // aimed at one final path — two shards misconfigured onto the same
+  // AVR_PROFILE_OUT — can never tear each other's tmp file; last rename
+  // wins whole. Sidecar failure is never fatal: every caller warns and
+  // moves on (the sweep's results do not live here).
+  const std::string uniq = report.owner.empty()
+                               ? std::to_string(static_cast<long>(::getpid()))
+                               : report.owner;
+  const std::string tmp = path + "." + uniq + ".tmp";
+  const fault::Kind wf = fault::fire(fault::Site::kSidecarWrite);
+  if (wf == fault::Kind::kKill) fault::kill_now(fault::Site::kSidecarWrite);
+  std::FILE* f =
+      wf == fault::Kind::kNone ? std::fopen(tmp.c_str(), "w") : nullptr;
   if (!f) return false;
   const bool written = std::fwrite(out.data(), 1, out.size(), f) == out.size();
   const bool closed = std::fclose(f) == 0;
@@ -113,7 +126,10 @@ bool write_profile_json(const std::string& path, const Report& report) {
     std::remove(tmp.c_str());
     return false;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  const fault::Kind rf = fault::fire(fault::Site::kSidecarRename);
+  if (rf == fault::Kind::kKill) fault::kill_now(fault::Site::kSidecarRename);
+  if (rf != fault::Kind::kNone ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }

@@ -236,6 +236,38 @@ void reconstruct_2d_scalar(const int32_t* avg, const uint8_t* left,
     lerp_rows_scalar(col[left[r]], col[right[r]], w[r], 3, out + r * 16, 16);
 }
 
+namespace {
+
+// Reflected Castagnoli polynomial; the byte-at-a-time table is generated at
+// compile time. The chaining convention (reflected state, no pre/post
+// conditioning here) matches the x86 crc32 instruction exactly, so the
+// hardware kernels are drop-in bit-identical.
+constexpr uint32_t kCrc32cPoly = 0x82F63B78u;
+
+struct Crc32cTable {
+  uint32_t t[256];
+};
+
+constexpr Crc32cTable make_crc32c_table() {
+  Crc32cTable tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kCrc32cPoly : c >> 1;
+    tb.t[i] = c;
+  }
+  return tb;
+}
+
+constexpr Crc32cTable kCrc32cTable = make_crc32c_table();
+
+}  // namespace
+
+uint32_t crc32c_update_scalar(uint32_t crc, const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i)
+    crc = (crc >> 8) ^ kCrc32cTable.t[(crc ^ data[i]) & 0xFF];
+  return crc;
+}
+
 bool error_scan_range_scalar(const float* original, const int32_t* recon_raw,
                              int8_t bias, uint32_t limit, size_t begin,
                              size_t end, ErrorScanState* st) {
@@ -288,6 +320,7 @@ const KernelTable kScalarTable = {
     truncate_low_bits_scalar, summarize_1d_scalar,
     summarize_2d_scalar,     lerp_gather_scalar,
     reconstruct_2d_scalar,   error_scan_f32_scalar,
+    crc32c_update_scalar,
 };
 
 }  // namespace detail

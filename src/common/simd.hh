@@ -148,6 +148,13 @@ struct KernelTable {
   bool (*error_scan_f32)(const float* original, const int32_t* recon_raw,
                          size_t n, int8_t bias, uint32_t limit,
                          ErrorScanState* st);
+
+  /// CRC-32C (Castagnoli, reflected) running update: folds data[0..n) into
+  /// `crc` and returns the new state — same chaining convention as the
+  /// x86 crc32 instruction, so callers start from ~0 and finalize with ~.
+  /// Guards the result-cache v5 record framing (result_cache.cc); the
+  /// sse4/avx2 entries use the hardware instruction, 8 bytes per step.
+  uint32_t (*crc32c_update)(uint32_t crc, const uint8_t* data, size_t n);
 };
 
 /// The active level's table (one atomic load; initializes dispatch on the

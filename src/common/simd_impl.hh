@@ -46,6 +46,7 @@ void lerp_gather_scalar(const int32_t* avg, const uint8_t* left,
                         int32_t* out, size_t n);
 void reconstruct_2d_scalar(const int32_t* avg, const uint8_t* left,
                            const uint8_t* right, const int8_t* w, int32_t* out);
+uint32_t crc32c_update_scalar(uint32_t crc, const uint8_t* data, size_t n);
 
 /// Scalar error scan over the index range [begin, end), continuing an
 /// in-progress scan: `st` carries counters and outputs across vector and

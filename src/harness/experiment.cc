@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/fault_inject.hh"
 #include "harness/result_cache.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload_registry.hh"
@@ -254,12 +255,21 @@ const ExperimentResult& ExperimentRunner::run(const std::string& name, Design d)
               .count();
       prof::count(prof::Counter::kPointsSimulated);
 
+      // "point.complete": the crash window between a finished simulation
+      // and its result append — a kill here loses the work and leaves this
+      // process's claim dangling until the lease expires (the chaos test's
+      // favorite wound).
+      if (fault::fire(fault::Site::kPointComplete) == fault::Kind::kKill)
+        fault::kill_now(fault::Site::kPointComplete);
+
       // Append before taking mu_: the cross-process flock inside can block on
       // another shard's writer, and stalling this process's other workers on
       // mu_ for that would serialize point completion across processes.
       if (!cache_path_.empty() && !append_result_line(cache_path_, res)) {
         disk_write_failures_.fetch_add(1);
-        std::fprintf(stderr, "[cache] WARNING: could not append %s x %s to %s\n",
+        std::fprintf(stderr,
+                     "[cache] WARNING: could not append %s x %s to %s; "
+                     "keeping the result in memory only\n",
                      name.c_str(), to_string(d), cache_path_.c_str());
       }
     }

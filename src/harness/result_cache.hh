@@ -2,18 +2,29 @@
 // completed (workload, design) point — and, since format v4, one line per
 // *claim* a work-stealing shard stakes on a point it is about to simulate.
 //
-// Result record (version 4; the v3 layout under a new version number):
+// Format v5 adds explicit framing and a checksum. Every record is
 //
-//   version,workload,design,config_hash,<19 metric fields>,output_error,
+//   5,L<len>,C<crc8hex>,<payload>
+//
+// where <payload> runs from the character after the third comma to the end
+// of the line (the trailing "end#" sentinel included), <len> is the decimal
+// payload byte count, and <crc8hex> is the CRC-32C of the payload bytes
+// (Castagnoli, reflected, ~crc32c(~0, payload); 8 lower-case hex digits,
+// computed through the dispatched SIMD kernel table — hardware crc32 on
+// SSE4.2+, table-driven scalar otherwise). The length catches short writes
+// the sentinel alone cannot (a torn tail that happens to end in ",end#"),
+// and the CRC catches bit rot that still parses.
+//
+// Result payload (identical to the v4/v3 field layout minus the version):
+//
+//   workload,design,config_hash,<19 metric fields>,output_error,
 //       wall_seconds[,detail_key,detail_value]...,end#
 //
-// Claim record (version 4 only — transient scheduler state, see
-// docs/OPERATIONS.md for the protocol):
+// Claim payload (see docs/OPERATIONS.md for the protocol):
 //
-//   version,claim#,workload,design,config_hash,owner,claimed_at,
-//       lease_seconds,end#
+//   claim#,workload,design,config_hash,owner,claimed_at,lease_seconds,end#
 //
-// The "claim#" kind marker occupies the workload field of a result record;
+// The "claim#" kind marker occupies the workload slot of a result payload;
 // the '#' keeps it disjoint from workload names (identifiers and
 // trace:<path> specs), exactly as the "end#" sentinel stays disjoint from
 // detail-counter keys. `claimed_at` is wall-clock (epoch) seconds; a claim
@@ -23,27 +34,35 @@
 // (deterministic points, duplicate-tolerant loads).
 //
 // config_hash is the config_fingerprint() of the runner's *base* SimConfig
-// (per-workload scaling is deterministic from it), so records produced under
-// different configurations — e.g. the bench_ablation or --t1 variants — can
-// share one cache file: loads filter on the hash. Version-2 lines (the v3
-// layout without config_hash) decode with the default-config fingerprint,
-// and version-3 lines decode unchanged — every pre-v4 cache stays readable.
-//
-// The trailing "end#" sentinel closes every record: a line torn mid-append
-// is missing it and is rejected as a whole (a cut inside the final numeric
-// token would otherwise decode as a shorter, valid-looking number).
+// (per-workload scaling is deterministic from it), so records produced
+// under different configurations — e.g. the bench_ablation or --t1
+// variants — can share one cache file: loads filter on the hash.
+// Back-compat: v4/v3 result lines (unframed, version-prefixed v5 payload
+// layout) and v2 lines (v3 without config_hash; decodes with the
+// default-config fingerprint) keep decoding forever, so existing caches
+// and merge-by-concatenation stay valid. Claim records are transient
+// scheduler state and only decode at the current version.
 //
 // Contract for concurrent *writer processes* (the sharded sweep):
 //   - a record is encoded to one string and appended with a single write(2)
 //     on an O_APPEND fd, under an exclusive flock(2) on the cache file —
-//     writers never interleave partial lines;
+//     writers never interleave partial lines. Lock acquisition and the
+//     write are retried with bounded exponential backoff (common/
+//     backoff.hh) before the writer degrades to in-memory-only results;
 //   - claim staking (try_claim_point) is read-modify-append under the same
 //     flock, so two shards can never both win a fresh claim on one point;
-//   - readers take no lock: load_result_cache() skips lines that are
-//     malformed, truncated (a reader racing the last append), claims, or
-//     from another format version, and tolerates duplicate records (points
-//     are deterministic, so duplicates carry identical values; the last one
-//     wins). Merging shard caches is therefore plain concatenation.
+//   - readers take no lock: load_result_cache() *quarantines* corrupt,
+//     truncated or checksum-failing lines — each skipped with a one-line
+//     stderr reason (capped per load) — skips claims and foreign versions,
+//     and tolerates duplicate records (points are deterministic, so
+//     duplicates carry identical values; the last one wins). Merging shard
+//     caches is therefore plain concatenation. avr_sweep --fsck audits a
+//     cache offline; --fsck --repair rewrites it clean (harness/fsck.hh).
+//
+// Fault sites on this path (common/fault_inject.hh): "cache.append" inside
+// the result-record write loop (kill = torn line), "cache.load" ahead of a
+// warm-up read, "claim.stake" before the claim append (kill = die with the
+// stake durably on disk), "lock.acquire" inside FileLock.
 #pragma once
 
 #include <map>
@@ -55,11 +74,11 @@
 
 namespace avr {
 
-/// Bump whenever results become incomparable (model changes); config
-/// changes no longer need a bump — records carry a config fingerprint.
-/// Loads ignore records from any version other than this one, 3 (identical
-/// result layout) or 2 (decodes with the default-config fingerprint).
-inline constexpr int kResultCacheVersion = 4;
+/// Bump whenever results become incomparable (model changes) or the record
+/// framing changes; config changes need no bump — records carry a config
+/// fingerprint. Loads accept this version plus the legacy result layouts
+/// (4/3 identical unframed, 2 without config_hash).
+inline constexpr int kResultCacheVersion = 5;
 
 /// The (workload, design) pair results and claims are keyed by.
 using ResultKey = std::pair<std::string, Design>;
@@ -90,35 +109,63 @@ enum class ClaimOutcome {
   kError,      // the cache file could not be opened/read/written
 };
 
-/// One result CSV record, no trailing newline. Doubles are written with
-/// max_digits10 precision so decode() round-trips them bit-exactly.
+/// What one cache line turned out to be under the shared version/framing
+/// policy (the single classifier behind decode_*, the loaders and fsck).
+enum class CacheLineKind {
+  kBlank,    // empty line
+  kResult,   // a valid result record (v2..v5) — *result is filled
+  kClaim,    // a valid current-version claim — *claim is filled
+  kForeign,  // another tool's/version's line (future version, stale claim):
+             //   not ours to judge, skipped silently
+  kCorrupt,  // torn, checksum-failing or unparseable — *reason says why
+};
+
+/// Classifies `line`. `result`/`claim` receive the decoded record for
+/// kResult/kClaim; `reason` (optional) the one-line quarantine cause for
+/// kCorrupt; `version` (optional) the record's version field when one was
+/// recognized (2..5), untouched otherwise.
+CacheLineKind classify_cache_line(const std::string& line,
+                                  ExperimentResult* result, ClaimRecord* claim,
+                                  std::string* reason = nullptr,
+                                  int* version = nullptr);
+
+/// One result CSV record (v5 framed), no trailing newline. Doubles are
+/// written with max_digits10 precision so decode() round-trips them
+/// bit-exactly — re-encoding a decoded legacy record is value-identical.
 std::string encode_result_line(const ExperimentResult& r);
 
-/// Parses one result record. Returns false (leaving `*out` unspecified) for
-/// blank, malformed, truncated, wrong-version — or claim — lines.
+/// Parses one result record (v2..v5). Returns false (leaving `*out`
+/// unspecified) for blank, malformed, truncated, checksum-failing,
+/// wrong-version — or claim — lines.
 bool decode_result_line(const std::string& line, ExperimentResult* out);
 
-/// One claim CSV record, no trailing newline.
+/// One claim CSV record (v5 framed), no trailing newline.
 std::string encode_claim_line(const ClaimRecord& c);
 
 /// Parses one claim record; false for anything else (results included).
 bool decode_claim_line(const std::string& line, ClaimRecord* out);
 
-/// Appends one result record under the locking contract above. Returns
-/// false if the file could not be opened or the write failed (best-effort:
-/// the in-memory cache is the source of truth within a process).
+/// Appends one result record under the locking contract above, riding out
+/// transient failures with bounded backoff. Returns false once retries are
+/// exhausted (best-effort: the in-memory cache is the source of truth
+/// within a process, and the caller warns loudly).
 bool append_result_line(const std::string& path, const ExperimentResult& r);
 
-/// Loads every valid result record; missing file yields an empty map. When
-/// `config_filter` is set, records whose config_hash differs are skipped —
-/// a runner only warms from points simulated under its own configuration.
+/// Loads every valid result record; missing file yields an empty map.
+/// Corrupt lines are quarantined with a one-line stderr reason each
+/// (capped); transient read errors are retried with backoff, after which
+/// the load degrades to an empty (in-memory-only) cache with a loud
+/// warning rather than failing the sweep. When `config_filter` is set,
+/// records whose config_hash differs are skipped — a runner only warms
+/// from points simulated under its own configuration.
 std::map<ResultKey, ExperimentResult> load_result_cache(
     const std::string& path,
     std::optional<uint64_t> config_filter = std::nullopt);
 
 /// Loads the *governing* claim per point: the last claim record in file
 /// order for each (workload, design) key, config-filtered like
-/// load_result_cache. Points that already have a result are still listed if
+/// load_result_cache (but silent — the result loader owns the quarantine
+/// warnings). Points that already have a result are still listed if
 /// claimed — callers decide whether a claim is moot (result exists), live,
 /// or expired.
 std::map<ResultKey, ClaimRecord> load_claims(
@@ -133,8 +180,9 @@ std::map<ResultKey, ClaimRecord> load_claims(
 ///     appending a duplicate),
 ///   - otherwise appends `want` (stamped claimed_at = now) and returns
 ///     kClaimed — or kReclaimed when it superseded an expired foreign claim.
-/// kError means the cache file itself is unusable; callers should abort
-/// rather than spin.
+/// kError means the cache file could not be opened/read/written even after
+/// the bounded lock-acquire retries; callers back off and retry, then
+/// degrade to uncoordinated simulation (sweep.cc) rather than abort.
 ClaimOutcome try_claim_point(const std::string& path, const ClaimRecord& want,
                              uint64_t now);
 

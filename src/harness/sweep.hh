@@ -148,6 +148,12 @@ struct StealOutcome {
   size_t simulated = 0;       // points this process claimed and simulated
   size_t reclaimed = 0;       // of those, won by superseding an expired claim
   size_t done_elsewhere = 0;  // points another owner completed
+  size_t claim_errors = 0;    // points whose claim I/O failed even after the
+                              // bounded retries (each ran uncoordinated)
+  bool degraded = false;      // true once any point ran without a claim:
+                              // waste (duplicate work) became possible, but
+                              // results stay correct — points are
+                              // deterministic and loads duplicate-tolerant
   prof::Totals sched;         // scheduler-side cache I/O + claim counters
 };
 
@@ -162,7 +168,10 @@ struct StealOutcome {
 /// once *every* point has a result, whether produced here or by another
 /// process; a process that finishes early keeps polling (poll_seconds) and
 /// reclaims expired claims, so a SIGKILLed peer's points are picked up
-/// automatically. Throws on cache I/O failure or a simulation error.
+/// automatically. Throws on a simulation error. Cache I/O failure does NOT
+/// abort the sweep: a claim that still fails after bounded backoff retries
+/// degrades that point to uncoordinated simulation with a loud warning
+/// (waste over wrongness — see StealOutcome::degraded).
 StealOutcome run_work_stealing(
     const std::vector<VariantPoint>& grid,
     const std::function<ExperimentRunner&(const VariantPoint&)>& runner_for,

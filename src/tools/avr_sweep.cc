@@ -26,6 +26,7 @@
 #include "common/profile.hh"
 #include "common/simd.hh"
 #include "harness/experiment.hh"
+#include "harness/fsck.hh"
 #include "harness/result_cache.hh"
 #include "harness/sweep.hh"
 
@@ -74,6 +75,15 @@ the shared CSV cache. Exits nonzero if any point fails.
   --assert-same p    verify the cache and cache file `p` contain the same
                      point set with identical metric values (wall-clock
                      timing excluded); exit 1 on any difference (runs nothing)
+  --fsck             audit every line of the cache file — checksum failures,
+                     torn appends, duplicate/conflicting results, stale and
+                     dangling claims, legacy record versions — and print the
+                     accounting; exit 1 if the cache needs attention (runs
+                     nothing)
+  --repair           with --fsck: rewrite the cache as a clean current-version
+                     file (atomically, under the cache flock), keeping the
+                     last valid result per point and any live dangling claims;
+                     exits by the post-repair audit
   --quiet            suppress per-point progress lines
   --help             this text
 )";
@@ -97,6 +107,8 @@ struct Options {
   bool list = false;
   bool check = false;
   bool assert_same = false;
+  bool fsck = false;
+  bool repair = false;
   bool quiet = false;
 };
 
@@ -157,6 +169,10 @@ Options parse_args(int argc, char** argv) {
       o.list = true;
     } else if (a == "--check") {
       o.check = true;
+    } else if (a == "--fsck") {
+      o.fsck = true;
+    } else if (a == "--repair") {
+      o.repair = true;
     } else if (a == "--quiet") {
       o.quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -172,7 +188,35 @@ Options parse_args(int argc, char** argv) {
         "grid dynamically)");
   if (o.claim && o.cache_path.empty())
     throw std::invalid_argument("--claim needs a cache file (claims live in it)");
+  if (o.repair && !o.fsck)
+    throw std::invalid_argument("--repair only makes sense with --fsck");
+  if (o.fsck && o.cache_path.empty())
+    throw std::invalid_argument("--fsck needs a cache file");
   return o;
+}
+
+/// --fsck [--repair]: audit (and optionally rewrite) the cache, exit by the
+/// final audit's verdict. Unlike --check this is grid-agnostic — it judges
+/// the file itself, not its coverage of any particular slice.
+int run_fsck(const Options& o) {
+  const uint64_t now = static_cast<uint64_t>(std::time(nullptr));
+  avr::FsckReport report = avr::fsck_cache(o.cache_path, now);
+  avr::print_fsck_report(stdout, o.cache_path, report);
+  if (!o.repair) return report.has_issues() ? 1 : 0;
+  if (!report.needs_repair()) {
+    std::printf("nothing to repair\n");
+    return 0;
+  }
+  std::string error;
+  if (!avr::repair_cache(o.cache_path, now, &error)) {
+    std::fprintf(stderr, "avr_sweep: repair failed: %s (original untouched)\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf("repaired %s; re-auditing:\n", o.cache_path.c_str());
+  report = avr::fsck_cache(o.cache_path, now);
+  avr::print_fsck_report(stdout, o.cache_path, report);
+  return report.has_issues() ? 1 : 0;
 }
 
 /// Metric-value identity between two results: every simulated field, but not
@@ -339,6 +383,7 @@ int main(int argc, char** argv) {
   }
   if (o.check) return check_coverage(o, slice);
   if (o.assert_same) return check_same(o);
+  if (o.fsck) return run_fsck(o);
 
   // One runner per (t1, methods) variant in this slice: each loads and
   // appends only records carrying its own config fingerprint, so all
@@ -434,6 +479,12 @@ int main(int argc, char** argv) {
                  profile_path.c_str());
   if (o.profile) prof::print_summary(stdout, report);
 
+  if (steal.degraded)
+    std::fprintf(stderr,
+                 "[sweep] WARNING: %zu point(s) ran without a claim (cache "
+                 "I/O kept failing); results are correct but duplicate work "
+                 "was possible — consider avr_sweep --fsck on %s\n",
+                 steal.claim_errors, o.cache_path.c_str());
   if (o.claim)
     std::printf(
         "[sweep] claim done (owner %s): %zu simulated (%zu reclaimed), "

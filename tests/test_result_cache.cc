@@ -150,16 +150,20 @@ TEST(ResultCache, LoadOfMissingFileIsEmpty) {
   EXPECT_TRUE(load_result_cache(temp_path("nosuch")).empty());
 }
 
-/// A format-2 line: the v3 encoding with the version field rewritten and
-/// the config_hash field (4th) removed — exactly what a pre-v3 binary wrote.
+/// A format-2 line: the current encoding with the v5 `L<len>,C<crc>` framing
+/// stripped, the version field rewritten and the config_hash field (4th)
+/// removed — exactly what a pre-v3 binary wrote.
 std::string v2_line_from(const ExperimentResult& r) {
   std::string s = encode_result_line(r);
-  s[0] = '2';
-  const size_t c1 = s.find(',');
-  const size_t c2 = s.find(',', c1 + 1);
-  const size_t c3 = s.find(',', c2 + 1);
-  const size_t c4 = s.find(',', c3 + 1);
-  s.erase(c3, c4 - c3);
+  const size_t c1 = s.find(',');            // after version
+  const size_t c2 = s.find(',', c1 + 1);    // after L<len>
+  const size_t c3 = s.find(',', c2 + 1);    // after C<crc>
+  s = "2," + s.substr(c3 + 1);              // 2,<payload>
+  const size_t p1 = s.find(',');            // after "2"
+  const size_t p2 = s.find(',', p1 + 1);    // after workload
+  const size_t p3 = s.find(',', p2 + 1);    // after design
+  const size_t p4 = s.find(',', p3 + 1);    // after config_hash
+  s.erase(p3, p4 - p3);
   return s;
 }
 

@@ -504,6 +504,47 @@ TEST(SimdKernels, ErrorScanSignedZeroParity) {
   for (uint32_t j = 0; j < r.n_outliers; ++j) EXPECT_EQ(r.bits[j], f32_bits(-0.0f));
 }
 
+// ---- crc32c ---------------------------------------------------------------
+
+TEST(SimdKernels, Crc32cKnownAnswer) {
+  // The CRC-32C (Castagnoli) check value: crc of "123456789" == 0xE3069283.
+  // Pins the polynomial, reflection and init/final conventions of the scalar
+  // table — the hardware kernels are then held to it by the parity test.
+  ScopedLevel pin(SimdLevel::kScalar);
+  const uint8_t msg[] = "123456789";
+  const uint32_t crc = ~simd::kernels().crc32c_update(0xFFFFFFFFu, msg, 9);
+  EXPECT_EQ(crc, 0xE3069283u);
+  // Empty input: init and final cancel to 0.
+  EXPECT_EQ(~simd::kernels().crc32c_update(0xFFFFFFFFu, msg, 0), 0u);
+}
+
+TEST(SimdKernels, Crc32cParity) {
+  // Every level, every length 0..64 plus a large unaligned slab: the 8-byte
+  // hardware stride and its byte tail must agree with the table exactly,
+  // including incremental (chained) updates split at odd offsets.
+  Xoshiro256 rng(2024);
+  std::vector<uint8_t> buf(4096 + 7);
+  for (uint8_t& b : buf) b = static_cast<uint8_t>(rng.next());
+  for (size_t len : {size_t{0},  size_t{1},  size_t{7},  size_t{8},
+                     size_t{9},  size_t{15}, size_t{16}, size_t{63},
+                     size_t{64}, size_t{333}, buf.size()}) {
+    uint32_t ref = 0;
+    for_each_level([&](SimdLevel lvl) {
+      const uint32_t one =
+          ~simd::kernels().crc32c_update(0xFFFFFFFFu, buf.data(), len);
+      // Chained halves split at an odd offset must equal the one-shot crc.
+      const size_t cut = len / 3;
+      uint32_t chained = simd::kernels().crc32c_update(0xFFFFFFFFu, buf.data(), cut);
+      chained = ~simd::kernels().crc32c_update(chained, buf.data() + cut, len - cut);
+      EXPECT_EQ(chained, one) << "level " << simd_level_name(lvl) << " len " << len;
+      if (lvl == SimdLevel::kScalar)
+        ref = one;
+      else
+        EXPECT_EQ(one, ref) << "level " << simd_level_name(lvl) << " len " << len;
+    });
+  }
+}
+
 // ---- whole-compressor parity ----------------------------------------------
 
 TEST(SimdKernels, CompressorEndToEndParity) {
